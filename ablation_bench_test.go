@@ -1,0 +1,121 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: tree
+// blocking, cache capacity, Cholesky block size, and the chaotic
+// freshness bound. Run with:
+//
+//	go test -bench=BenchmarkAblation -benchtime=1x -v
+package sam
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"samsys/internal/apps/barneshut"
+	"samsys/internal/apps/cholesky"
+	"samsys/internal/apps/grobner"
+	"samsys/internal/apps/sparse"
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/octlib"
+	"samsys/internal/sim"
+)
+
+// BenchmarkAblationTreeBlocking quantifies the oct-tree blocking design
+// choice (Section 4.2): data message counts drop, message sizes grow, and
+// run time improves on machines with expensive messages.
+func BenchmarkAblationTreeBlocking(b *testing.B) {
+	bodies := octlib.RandomBodies(2000, 5)
+	p := barneshut.Params{Steps: 1, Theta: 1.0}
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		for _, prof := range []machine.Profile{machine.CM5, machine.IPSC} {
+			for _, blocking := range []bool{false, true} {
+				fab := simfab.New(prof, 16)
+				res, err := barneshut.Run(fab, core.Options{}, barneshut.Config{
+					Bodies: bodies, Params: p, Blocking: blocking,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				avg := 0.0
+				if res.Counters.DataMessages > 0 {
+					avg = float64(res.Counters.DataBytes) / float64(res.Counters.DataMessages)
+				}
+				fmt.Fprintf(&sb, "%-9s blocking=%-5v time=%v dataMsgs=%d avgBytes=%.0f\n",
+					prof.Name, blocking, res.Elapsed, res.Counters.DataMessages, avg)
+			}
+		}
+	}
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkAblationCacheSize sweeps the per-node cache capacity for the
+// Barnes-Hut force phase: below the working set, evictions force
+// refetches and run time climbs toward the no-cache extreme.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	bodies := octlib.RandomBodies(2000, 6)
+	p := barneshut.Params{Steps: 1, Theta: 1.0}
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		// Floor at 64 KiB: far below the working set every access misses and
+		// the run degenerates into pure refetch traffic.
+		for _, capBytes := range []int64{0 /* default 64MB */, 256 << 10, 128 << 10, 64 << 10} {
+			fab := simfab.New(machine.Paragon, 16)
+			res, err := barneshut.Run(fab, core.Options{CacheBytes: capBytes},
+				barneshut.Config{Bodies: bodies, Params: p, Blocking: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Fprintf(&sb, "cache=%-8d time=%v remote=%d hits=%d\n",
+				capBytes, res.Elapsed, res.Counters.RemoteAccesses, res.Counters.CacheHits)
+		}
+	}
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkAblationBlockSize sweeps the Cholesky block size: small blocks
+// mean fine-grained tasks and many small messages; large blocks waste
+// flops on zero-padding (the block/scalar ratio grows).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	m := sparse.Grid3DStiff(6, 6, 6, 4)
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		for _, blockSize := range []int{8, 16, 32} {
+			fab := simfab.New(machine.Paragon, 16)
+			res, err := cholesky.Run(fab, core.Options{}, cholesky.Config{
+				Matrix: m, BlockSize: blockSize, Push: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Fprintf(&sb, "B=%-3d time=%v blockFlops/scalar=%.2f msgs=%d\n",
+				blockSize, res.Elapsed, res.BlockFlops/res.SerialFlops, res.Counters.Messages)
+		}
+	}
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkAblationChaoticMaxAge sweeps the chaotic snapshot freshness
+// bound for the Gröbner basis set: unbounded staleness multiplies
+// redundant work; too-tight bounds refetch constantly.
+func BenchmarkAblationChaoticMaxAge(b *testing.B) {
+	in := grobner.Katsura(4)
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		for _, age := range []sim.Time{100 * sim.Microsecond, sim.Millisecond, 10 * sim.Millisecond} {
+			fab := simfab.New(machine.CM5, 16)
+			res, err := grobner.Run(fab, core.Options{ChaoticMaxAge: age}, grobner.Config{Input: in})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Fprintf(&sb, "maxAge=%-12v time=%v additions=%d pairs=%d\n",
+				age, res.Elapsed, res.Additions, res.PairsDone)
+		}
+	}
+	b.Log("\n" + sb.String())
+}

@@ -1,0 +1,97 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one per figure, quick scale). Each iteration runs the full
+// experiment; the printed report of the final iteration is emitted with
+// -v via b.Log. Run a single one with, e.g.:
+//
+//	go test -bench=BenchmarkFig4 -benchtime=1x
+//
+// Paper-scale inputs: use cmd/samexp -scale full.
+package sam
+
+import (
+	"testing"
+
+	"samsys/internal/exp"
+	"samsys/internal/machine"
+)
+
+// benchOpts keeps benchmark iterations affordable: quick-scale workloads,
+// the three machines of the cost figures, and a small processor ladder.
+func benchOpts() exp.Options {
+	return exp.Options{
+		Scale:    exp.Quick,
+		Machines: []machine.Profile{machine.CM5, machine.IPSC, machine.Paragon},
+		Procs:    []int{1, 8, 32},
+	}
+}
+
+func runExperiment(b *testing.B, id string, opts exp.Options) {
+	b.Helper()
+	e, err := exp.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last string
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep.String()
+	}
+	b.Log("\n" + last)
+}
+
+func BenchmarkFig2LineCounts(b *testing.B) {
+	runExperiment(b, "fig2", benchOpts())
+}
+
+func BenchmarkFig3MachineCharacteristics(b *testing.B) {
+	runExperiment(b, "fig3", exp.Options{Scale: exp.Quick})
+}
+
+func BenchmarkFig4Cholesky(b *testing.B) {
+	runExperiment(b, "fig4", benchOpts())
+}
+
+func BenchmarkFig5CholeskyAccessFrequency(b *testing.B) {
+	runExperiment(b, "fig5", benchOpts())
+}
+
+func BenchmarkFig6BarnesHut(b *testing.B) {
+	runExperiment(b, "fig6", benchOpts())
+}
+
+func BenchmarkFig7BarnesHutAccessFrequency(b *testing.B) {
+	runExperiment(b, "fig7", benchOpts())
+}
+
+func BenchmarkFig8Grobner(b *testing.B) {
+	o := benchOpts()
+	o.Machines = []machine.Profile{machine.CM5, machine.Paragon}
+	runExperiment(b, "fig8", o)
+}
+
+func BenchmarkFig9GrobnerAccessFrequency(b *testing.B) {
+	runExperiment(b, "fig9", benchOpts())
+}
+
+func BenchmarkFig10CostBreakdown(b *testing.B) {
+	runExperiment(b, "fig10", benchOpts())
+}
+
+func BenchmarkFig11CostBreakdownRange(b *testing.B) {
+	runExperiment(b, "fig11", benchOpts())
+}
+
+func BenchmarkFig12Caching(b *testing.B) {
+	runExperiment(b, "fig12", benchOpts())
+}
+
+func BenchmarkFig13Synchronization(b *testing.B) {
+	runExperiment(b, "fig13", benchOpts())
+}
+
+func BenchmarkFig14Optimizations(b *testing.B) {
+	runExperiment(b, "fig14", benchOpts())
+}

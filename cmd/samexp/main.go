@@ -1,0 +1,100 @@
+// Command samexp runs the paper-reproduction experiments: every table and
+// figure of the evaluation section (Figures 2-14).
+//
+// Usage:
+//
+//	samexp -exp fig4                # one experiment, quick scale
+//	samexp -all                     # all experiments
+//	samexp -all -scale full         # paper-scale inputs (slow)
+//	samexp -exp fig6 -machines cm5,paragon -procs 1,8,32
+//	samexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"samsys/internal/exp"
+	"samsys/internal/machine"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id (fig2..fig14)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments")
+		scale    = flag.String("scale", "quick", "workload scale: quick or full")
+		machines = flag.String("machines", "", "comma-separated machine subset (cm5,ipsc,paragon,sp1,dash)")
+		procs    = flag.String("procs", "", "comma-separated processor counts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			e, _ := exp.Get(id)
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{}
+	switch *scale {
+	case "quick":
+		opts.Scale = exp.Quick
+	case "full":
+		opts.Scale = exp.Full
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+	if *machines != "" {
+		for _, name := range strings.Split(*machines, ",") {
+			prof, err := machine.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts.Machines = append(opts.Machines, prof)
+		}
+	}
+	if *procs != "" {
+		for _, s := range strings.Split(*procs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				fatalf("bad processor count %q", s)
+			}
+			opts.Procs = append(opts.Procs, p)
+		}
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = exp.IDs()
+	case *expID != "":
+		ids = []string{*expID}
+	default:
+		fatalf("specify -exp <id>, -all, or -list")
+	}
+
+	for _, id := range ids {
+		e, err := exp.Get(id)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "samexp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module samsys
+
+go 1.22

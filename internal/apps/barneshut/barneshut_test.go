@@ -1,0 +1,162 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/octlib"
+)
+
+func maxPosError(a, b []octlib.Body) float64 {
+	worst := 0.0
+	pos := make(map[int32]octlib.Vec3, len(a))
+	for _, x := range a {
+		pos[x.ID] = x.Pos
+	}
+	for _, y := range b {
+		d := y.Pos.Sub(pos[y.ID])
+		if e := math.Sqrt(d.Dot(d)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func runParallel(t *testing.T, bodies []octlib.Body, nodes int, p Params, opts core.Options, cfg Config) *Result {
+	t.Helper()
+	cfg.Bodies = bodies
+	cfg.Params = p
+	fab := simfab.New(machine.CM5, nodes)
+	res, err := Run(fab, opts, cfg)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	return res
+}
+
+func TestParallelMatchesSerialOneStep(t *testing.T) {
+	p := Params{Steps: 1, Theta: 0.8}
+	bodies := octlib.RandomBodies(300, 11)
+	serial := RunSerial(bodies, p)
+	res := runParallel(t, bodies, 4, p, core.Options{}, Config{})
+	if err := maxPosError(serial.Bodies, res.Bodies); err > 1e-9 {
+		t.Errorf("positions diverge from serial by %g", err)
+	}
+	if res.Interactions != serial.Interactions {
+		t.Errorf("interactions: parallel %d, serial %d", res.Interactions, serial.Interactions)
+	}
+}
+
+func TestParallelMatchesSerialMultiStep(t *testing.T) {
+	p := Params{Steps: 3, Theta: 1.0}
+	bodies := octlib.RandomBodies(200, 12)
+	serial := RunSerial(bodies, p)
+	res := runParallel(t, bodies, 5, p, core.Options{}, Config{})
+	if err := maxPosError(serial.Bodies, res.Bodies); err > 1e-8 {
+		t.Errorf("positions diverge from serial by %g", err)
+	}
+}
+
+func TestParallelWithBlocking(t *testing.T) {
+	p := Params{Steps: 1, Theta: 0.8}
+	bodies := octlib.RandomBodies(300, 13)
+	serial := RunSerial(bodies, p)
+	res := runParallel(t, bodies, 4, p, core.Options{}, Config{Blocking: true})
+	if err := maxPosError(serial.Bodies, res.Bodies); err > 1e-9 {
+		t.Errorf("blocking changed results by %g", err)
+	}
+}
+
+func TestBlockingReducesDataMessages(t *testing.T) {
+	p := Params{Steps: 1, Theta: 0.7}
+	bodies := octlib.RandomBodies(600, 19)
+	plain := runParallel(t, bodies, 8, p, core.Options{}, Config{})
+	blocked := runParallel(t, bodies, 8, p, core.Options{}, Config{Blocking: true})
+	if blocked.Counters.DataMessages >= plain.Counters.DataMessages {
+		t.Errorf("blocking did not reduce data messages: %d vs %d",
+			blocked.Counters.DataMessages, plain.Counters.DataMessages)
+	}
+	// But each message is bigger on average.
+	avg := func(c int64, b int64) float64 { return float64(b) / float64(c) }
+	if avg(blocked.Counters.DataMessages, blocked.Counters.DataBytes) <=
+		avg(plain.Counters.DataMessages, plain.Counters.DataBytes) {
+		t.Error("blocking should increase average data message size")
+	}
+}
+
+func TestParallelWithPushLevels(t *testing.T) {
+	p := Params{Steps: 1, Theta: 0.8}
+	bodies := octlib.RandomBodies(300, 14)
+	serial := RunSerial(bodies, p)
+	res := runParallel(t, bodies, 4, p, core.Options{}, Config{PushLevels: 2})
+	if err := maxPosError(serial.Bodies, res.Bodies); err > 1e-9 {
+		t.Errorf("pushing changed results by %g", err)
+	}
+	if res.Counters.Pushes == 0 {
+		t.Error("no pushes recorded with PushLevels=2")
+	}
+}
+
+func TestParallelInvalidateMode(t *testing.T) {
+	p := Params{Steps: 1, Theta: 0.8}
+	bodies := octlib.RandomBodies(200, 15)
+	serial := RunSerial(bodies, p)
+	res := runParallel(t, bodies, 4, p, core.Options{Invalidate: true}, Config{})
+	if err := maxPosError(serial.Bodies, res.Bodies); err > 1e-9 {
+		t.Errorf("invalidate mode changed results by %g", err)
+	}
+}
+
+func TestParallelSingleNode(t *testing.T) {
+	p := Params{Steps: 2, Theta: 0.9}
+	bodies := octlib.RandomBodies(150, 16)
+	serial := RunSerial(bodies, p)
+	res := runParallel(t, bodies, 1, p, core.Options{}, Config{})
+	if err := maxPosError(serial.Bodies, res.Bodies); err > 1e-9 {
+		t.Errorf("single node diverges by %g", err)
+	}
+}
+
+func TestCachingCriticalForBarnesHut(t *testing.T) {
+	// Figure 12: without caching the run is drastically slower.
+	p := Params{Steps: 1, Theta: 0.8}
+	bodies := octlib.RandomBodies(400, 20)
+	cached := runParallel(t, bodies, 8, p, core.Options{}, Config{})
+	uncached := runParallel(t, bodies, 8, p, core.Options{NoCache: true}, Config{})
+	if float64(uncached.Elapsed) < 3*float64(cached.Elapsed) {
+		t.Errorf("expected large caching win: cached %v, uncached %v",
+			cached.Elapsed, uncached.Elapsed)
+	}
+}
+
+func TestLeafCapGreaterThanOne(t *testing.T) {
+	p := Params{Steps: 1, Theta: 0.8, LeafCap: 4}
+	bodies := octlib.RandomBodies(300, 17)
+	serial := RunSerial(bodies, p)
+	res := runParallel(t, bodies, 4, p, core.Options{}, Config{})
+	// With leafCap > 1 leaf body order may differ between serial and
+	// parallel, so compare with a floating-point tolerance.
+	if err := maxPosError(serial.Bodies, res.Bodies); err > 1e-6 {
+		t.Errorf("leafCap=4 diverges by %g", err)
+	}
+}
+
+func TestSpeedupAcrossMachines(t *testing.T) {
+	// Speedup on a 16-node Paragon must comfortably exceed 1.
+	p := Params{Steps: 1, Theta: 0.8}
+	bodies := octlib.RandomBodies(800, 18)
+	serial := RunSerial(bodies, p)
+	fab := simfab.New(machine.Paragon, 16)
+	res, err := Run(fab, core.Options{}, Config{Bodies: bodies, Params: p, Blocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialTime := machine.Paragon.FlopTime(serial.Work)
+	sp := float64(serialTime) / float64(res.Elapsed)
+	if sp < 2 {
+		t.Errorf("16-node speedup %.2f too low", sp)
+	}
+}

@@ -1,0 +1,324 @@
+package barneshut
+
+import (
+	"sort"
+
+	"samsys/internal/fabric"
+	"samsys/internal/octlib"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+// Message-passing Barnes-Hut in the style of Warren & Salmon's hypercube
+// n-body integrator (the paper's MP-iPSC comparison line in Figure 6):
+// each processor builds a local oct-tree over its own bodies, then — in a
+// single communication phase — sends every other processor the pruned
+// "locally essential" part of that tree: exactly the cells the remote
+// domain could open, with bodies for leaves. Force evaluation then runs
+// with no further communication. This is faster but considerably harder
+// to program than the SAM version, and its tree differs slightly from
+// the shared global tree (the paper's footnote 4: the message-passing
+// version "does not do exactly the same computations").
+
+// fragNode is one serialized tree node of an essential-tree fragment.
+// Children are fragment indices; -1 terminates.
+type fragNode struct {
+	Mass     float64
+	COM      octlib.Vec3
+	Size     float64
+	Leaf     bool
+	Bodies   []octlib.Body
+	Children [8]int32
+}
+
+const fragNodeBytes = 8 + 24 + 8 + 1 + 32
+
+func fragBytes(frag []fragNode) int {
+	n := 0
+	for i := range frag {
+		n += fragNodeBytes + bodySliceBytes(frag[i].Bodies)
+	}
+	return n
+}
+
+func bodySliceBytes(bs []octlib.Body) int { return len(bs) * 80 }
+
+// pruneFor serializes the part of the local tree that bodies anywhere in
+// the remote domain box could open. A cell whose opening criterion cannot
+// fire from any point of the box is sent as a single summary node.
+func pruneFor(c *octlib.LocalCell, box octlib.Bounds, theta float64, out *[]fragNode) int32 {
+	if c == nil || c.Count == 0 {
+		return -1
+	}
+	idx := int32(len(*out))
+	*out = append(*out, fragNode{Mass: c.Mass, COM: c.COM, Size: c.Size})
+	node := &(*out)[idx]
+	for i := range node.Children {
+		node.Children[i] = -1
+	}
+	if !mayOpen(c, box, theta) {
+		return idx
+	}
+	if c.Leaf {
+		(*out)[idx].Leaf = true
+		(*out)[idx].Bodies = append([]octlib.Body(nil), c.Bodies...)
+		return idx
+	}
+	for oct, ch := range c.Children {
+		ci := pruneFor(ch, box, theta, out)
+		(*out)[idx].Children[oct] = ci
+	}
+	return idx
+}
+
+// mayOpen reports whether any point of box could open the cell: the
+// minimum distance from the cell's center of mass to the box is compared
+// against size/theta.
+func mayOpen(c *octlib.LocalCell, box octlib.Bounds, theta float64) bool {
+	if theta == 0 {
+		return true
+	}
+	var d2 float64
+	for dim := 0; dim < 3; dim++ {
+		lo, hi := box.Min[dim], box.Min[dim]+box.Size
+		switch {
+		case c.COM[dim] < lo:
+			d2 += (lo - c.COM[dim]) * (lo - c.COM[dim])
+		case c.COM[dim] > hi:
+			d2 += (c.COM[dim] - hi) * (c.COM[dim] - hi)
+		}
+	}
+	return c.Size*c.Size > theta*theta*d2
+}
+
+// fragAccel evaluates a fragment tree's contribution to the acceleration
+// at pos.
+func fragAccel(frag []fragNode, pos octlib.Vec3, self int32, theta float64, st *octlib.ForceStats) octlib.Vec3 {
+	var acc octlib.Vec3
+	if len(frag) == 0 {
+		return acc
+	}
+	var rec func(i int32)
+	rec = func(i int32) {
+		n := &frag[i]
+		st.Visits++
+		if n.Leaf {
+			for _, b := range n.Bodies {
+				if b.ID != self {
+					octlib.Accel(pos, b.Mass, b.Pos, &acc)
+					st.Interactions++
+				}
+			}
+			return
+		}
+		open := octlib.Opens(pos, n.Size, n.COM, theta)
+		if open {
+			opened := false
+			for _, ci := range n.Children {
+				if ci >= 0 {
+					rec(ci)
+					opened = true
+				}
+			}
+			if opened {
+				return
+			}
+			// No children were shipped: the sender proved this cell
+			// cannot open from our domain, so the summary is exact.
+		}
+		octlib.Accel(pos, n.Mass, n.COM, &acc)
+		st.Interactions++
+	}
+	rec(0)
+	return acc
+}
+
+// mp message payloads.
+type mpBoxMsg struct {
+	step int
+	from int
+	box  octlib.Bounds
+}
+
+type mpFragMsg struct {
+	step int
+	from int
+	frag []fragNode
+}
+
+// mpState is the per-node exchange state, manipulated only by the node's
+// handler and app contexts.
+type mpState struct {
+	boxes    []octlib.Bounds
+	boxCount int
+	boxEv    fabric.Event
+
+	frags     [][]fragNode
+	fragCount int
+	fragEv    fabric.Event
+}
+
+// RunMP evolves the bodies with the message-passing implementation on the
+// given fabric (no SAM runtime involved).
+func RunMP(fab fabric.Fabric, cfg Config) (*Result, error) {
+	p := cfg.Params.withDefaults()
+	n := len(cfg.Bodies)
+	nodes := fab.N()
+
+	states := make([]*mpState, nodes)
+	for i := range states {
+		states[i] = &mpState{boxes: make([]octlib.Bounds, nodes), frags: make([][]fragNode, nodes)}
+	}
+	fab.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+		st := states[hc.Node()]
+		switch msg := m.Payload.(type) {
+		case mpBoxMsg:
+			st.boxes[msg.from] = msg.box
+			st.boxCount++
+			if st.boxCount == hc.N()-1 && st.boxEv != nil {
+				st.boxEv.Signal()
+			}
+		case mpFragMsg:
+			hc.Charge(stats.Pack, hc.Profile().PackTime(fragBytes(msg.frag)))
+			st.frags[msg.from] = msg.frag
+			st.fragCount++
+			if st.fragCount == hc.N()-1 && st.fragEv != nil {
+				st.fragEv.Signal()
+			}
+		}
+	})
+
+	// Same Morton partition as the SAM version.
+	initial := octlib.CubeAround(cfg.Bodies)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	keys := make([]uint64, n)
+	for i, b := range cfg.Bodies {
+		keys[i] = octlib.MortonKey(initial, b.Pos, 10)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	res := &Result{Bodies: make([]octlib.Body, n)}
+	final := make([][]octlib.Body, nodes)
+	interactions := make([]int64, nodes)
+	var elapsed sim.Time
+
+	err := fab.Run(func(c fabric.Ctx) {
+		me := c.Node()
+		st := states[me]
+		lo, hi := me*n/nodes, (me+1)*n/nodes
+		mine := make([]octlib.Body, 0, hi-lo)
+		for _, idx := range order[lo:hi] {
+			mine = append(mine, cfg.Bodies[idx])
+		}
+		accs := make([]octlib.Vec3, len(mine))
+		var fst octlib.ForceStats
+		start := c.Now()
+		for step := 0; step < p.Steps; step++ {
+			// Phase 1: exchange domain boxes (allgather).
+			st.boxCount = 0
+			st.boxEv = c.NewEvent()
+			myBox := octlib.CubeAround(mine)
+			for dst := 0; dst < nodes; dst++ {
+				if dst != me {
+					c.Send(dst, 56, mpBoxMsg{step: step, from: me, box: myBox})
+				}
+			}
+			st.boxes[me] = myBox
+			if nodes > 1 {
+				st.boxEv.Wait(c, stats.Idle)
+			}
+
+			// Phase 2: build the local tree over the full union domain so
+			// cell geometry is commensurable across processors.
+			domain := st.boxes[0]
+			for _, b := range st.boxes[1:] {
+				domain = union(domain, b)
+			}
+			tree := octlib.NewLocalTree(domain, p.LeafCap)
+			for i := range mine {
+				tree.Insert(mine[i])
+			}
+			comOps := tree.ComputeCOM()
+			c.ChargeFlops(stats.App, float64(comOps)*octlib.FlopsPerCOM+
+				float64(len(mine)+tree.Cells)*8)
+
+			// Phase 3: one bulk exchange of locally essential trees.
+			st.fragCount = 0
+			st.fragEv = c.NewEvent()
+			for dst := 0; dst < nodes; dst++ {
+				if dst == me {
+					continue
+				}
+				var frag []fragNode
+				pruneFor(tree.Root, st.boxes[dst], p.Theta, &frag)
+				bytes := fragBytes(frag)
+				c.Charge(stats.Pack, c.Profile().PackTime(bytes))
+				c.Send(dst, bytes, mpFragMsg{step: step, from: me, frag: frag})
+			}
+			if nodes > 1 {
+				st.fragEv.Wait(c, stats.Stall)
+			}
+
+			// Phase 4: forces, entirely local.
+			for i := range mine {
+				before := fst.Interactions
+				beforeV := fst.Visits
+				acc := tree.AccelOn(mine[i].Pos, mine[i].ID, p.Theta, &fst)
+				for from := 0; from < nodes; from++ {
+					if from != me {
+						acc = acc.Add(fragAccel(st.frags[from], mine[i].Pos, mine[i].ID, p.Theta, &fst))
+					}
+				}
+				accs[i] = acc
+				c.ChargeFlops(stats.App,
+					float64(fst.Interactions-before)*octlib.FlopsPerInteraction+
+						float64(fst.Visits-beforeV)*octlib.FlopsPerVisit)
+			}
+			for i := range mine {
+				octlib.Advance(&mine[i], accs[i], p.DT)
+			}
+			c.ChargeFlops(stats.App, float64(len(mine))*octlib.FlopsPerAdvance)
+		}
+		elapsedLocal := c.Now() - start
+		if me == 0 {
+			elapsed = elapsedLocal
+		}
+		interactions[me] = fst.Interactions
+		final[me] = mine
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = elapsed
+	pos := 0
+	for node := 0; node < nodes; node++ {
+		res.Interactions += interactions[node]
+		pos += copy(res.Bodies[pos:], final[node])
+		res.Counters.Add(fab.Counters(node))
+	}
+	res.Breakdown = stats.Breakdown{Nodes: fab.Report()}
+	return res, nil
+}
+
+func union(a, b octlib.Bounds) octlib.Bounds {
+	lo := a.Min
+	hi := octlib.Vec3{a.Min[0] + a.Size, a.Min[1] + a.Size, a.Min[2] + a.Size}
+	for d := 0; d < 3; d++ {
+		if b.Min[d] < lo[d] {
+			lo[d] = b.Min[d]
+		}
+		if v := b.Min[d] + b.Size; v > hi[d] {
+			hi[d] = v
+		}
+	}
+	size := 0.0
+	for d := 0; d < 3; d++ {
+		if s := hi[d] - lo[d]; s > size {
+			size = s
+		}
+	}
+	return octlib.Bounds{Min: lo, Size: size}
+}

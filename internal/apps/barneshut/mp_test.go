@@ -1,0 +1,98 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/octlib"
+)
+
+func TestMPForcesCloseToSerial(t *testing.T) {
+	// The message-passing version uses the union of per-processor trees,
+	// so its results differ slightly from the global-tree versions (the
+	// paper's footnote 4); forces must agree within the Barnes-Hut
+	// approximation error.
+	p := Params{Steps: 1, Theta: 0.6}
+	bodies := octlib.RandomBodies(400, 21)
+	serial := RunSerial(bodies, p)
+	fab := simfab.New(machine.IPSC, 4)
+	res, err := RunMP(fab, Config{Bodies: bodies, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bodies) != 400 {
+		t.Fatalf("lost bodies: %d", len(res.Bodies))
+	}
+	pos := map[int32]octlib.Vec3{}
+	for _, b := range serial.Bodies {
+		pos[b.ID] = b.Pos
+	}
+	var sumSq float64
+	for _, b := range res.Bodies {
+		d := b.Pos.Sub(pos[b.ID])
+		sumSq += d.Dot(d)
+	}
+	rms := math.Sqrt(sumSq / float64(len(res.Bodies)))
+	if rms > 1e-5 {
+		t.Errorf("MP positions rms deviation %g too large", rms)
+	}
+}
+
+func TestMPSingleNodeMatchesSerialExactly(t *testing.T) {
+	p := Params{Steps: 2, Theta: 0.8}
+	bodies := octlib.RandomBodies(200, 22)
+	serial := RunSerial(bodies, p)
+	fab := simfab.New(machine.IPSC, 1)
+	res, err := RunMP(fab, Config{Bodies: bodies, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxPosError(serial.Bodies, res.Bodies); e > 1e-12 {
+		t.Errorf("single-node MP diverges by %g", e)
+	}
+}
+
+func TestMPFasterThanSAMOnIPSC(t *testing.T) {
+	// Figure 6: the message-passing version achieves the best speedups,
+	// especially on machines with expensive messaging like the iPSC/860.
+	p := Params{Steps: 1, Theta: 0.8}
+	bodies := octlib.RandomBodies(1000, 23)
+	fabSAM := simfab.New(machine.IPSC, 8)
+	sam, err := Run(fabSAM, core.Options{}, Config{Bodies: bodies, Params: p, Blocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabMP := simfab.New(machine.IPSC, 8)
+	mp, err := RunMP(fabMP, Config{Bodies: bodies, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Elapsed >= sam.Elapsed {
+		t.Errorf("MP (%v) not faster than SAM (%v) on iPSC/860", mp.Elapsed, sam.Elapsed)
+	}
+}
+
+func TestPruneEssentialTreeSmallerThanFull(t *testing.T) {
+	bodies := octlib.RandomBodies(500, 24)
+	tree := octlib.NewLocalTree(octlib.CubeAround(bodies), 1)
+	for _, b := range bodies {
+		tree.Insert(b)
+	}
+	tree.ComputeCOM()
+	farBox := octlib.Bounds{Min: octlib.Vec3{100, 100, 100}, Size: 1}
+	var farFrag []fragNode
+	pruneFor(tree.Root, farBox, 0.8, &farFrag)
+	nearBox := octlib.Bounds{Min: octlib.Vec3{0, 0, 0}, Size: 1}
+	var nearFrag []fragNode
+	pruneFor(tree.Root, nearBox, 0.8, &nearFrag)
+	if len(farFrag) >= len(nearFrag) {
+		t.Errorf("far fragment (%d nodes) not smaller than near fragment (%d)",
+			len(farFrag), len(nearFrag))
+	}
+	if len(farFrag) == 0 {
+		t.Error("far fragment empty; must contain at least the root summary")
+	}
+}

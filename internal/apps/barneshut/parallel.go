@@ -1,0 +1,383 @@
+package barneshut
+
+import (
+	"sort"
+
+	"samsys/internal/core"
+	"samsys/internal/fabric"
+	"samsys/internal/octlib"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+const (
+	tagCell = 20
+	tagBBox = 21
+)
+
+// Config parameterizes a parallel SAM run.
+type Config struct {
+	Bodies []octlib.Body
+	Params Params
+	// Blocking enables the oct-tree library's node blocking: cell values
+	// carry their children's summaries, so a traversal fetches only cells
+	// it opens (Section 4.2).
+	Blocking bool
+	// PushLevels > 0 pushes completed cells of the top PushLevels tree
+	// levels to every processor after the build (Section 5.3).
+	PushLevels int32
+}
+
+// Result reports a parallel run.
+type Result struct {
+	Elapsed      sim.Time
+	Bodies       []octlib.Body
+	Interactions int64
+	Visits       int64
+	CellsCreated int64
+	Counters     stats.Counters
+	Breakdown    stats.Breakdown
+}
+
+// BodiesPerSecond is the paper's absolute performance metric for
+// Figure 6.
+func (r *Result) BodiesPerSecond(nbodies, steps int) float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(nbodies*steps) / sim.SecondsOf(r.Elapsed)
+}
+
+// Run evolves the bodies on the given fabric under SAM.
+func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
+	p := cfg.Params.withDefaults()
+	n := len(cfg.Bodies)
+	nodes := fab.N()
+
+	// Static partition with spatial locality: bodies sorted by Morton key
+	// of the initial configuration, split into equal contiguous chunks.
+	initial := octlib.CubeAround(cfg.Bodies)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	keys := make([]uint64, n)
+	for i, b := range cfg.Bodies {
+		keys[i] = octlib.MortonKey(initial, b.Pos, 10)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	res := &Result{Bodies: make([]octlib.Body, n)}
+	final := make([][]octlib.Body, nodes)
+	interactions := make([]int64, nodes)
+	visits := make([]int64, nodes)
+	cellsCreated := make([]int64, nodes)
+	var elapsed sim.Time
+
+	w := core.NewWorld(fab, opts)
+	err := w.Run(func(c *core.Ctx) {
+		me := c.Node()
+		lo, hi := me*n/nodes, (me+1)*n/nodes
+		mine := make([]octlib.Body, 0, hi-lo)
+		for _, idx := range order[lo:hi] {
+			mine = append(mine, cfg.Bodies[idx])
+		}
+		accs := make([]octlib.Vec3, len(mine))
+		var st octlib.ForceStats
+
+		c.Barrier()
+		start := c.Now()
+		for step := 0; step < p.Steps; step++ {
+			cube := agreeBounds(c, step, mine)
+			created := buildTree(c, step, cube, mine, p)
+			cellsCreated[me] += int64(len(created))
+			c.Barrier() // all insertions complete
+			computeCOM(c, step, created, cfg)
+			c.Barrier() // tree fully summarized (and top levels pushed)
+			forcePhase(c, step, cube, mine, accs, p, cfg, &st)
+			for i := range mine {
+				octlib.Advance(&mine[i], accs[i], p.DT)
+			}
+			c.Compute(float64(len(mine)) * octlib.FlopsPerAdvance)
+			// The parallel version re-examines the partition each step;
+			// the serial algorithm has no such cost (extra work).
+			c.WorkExtra(float64(len(mine)) * 40)
+			c.Barrier() // forces everywhere done; tree can be reclaimed
+			for _, path := range created {
+				c.DestroyValue(octlib.CellName(tagCell, step, path))
+			}
+		}
+		c.Barrier()
+		if me == 0 {
+			elapsed = c.Now() - start
+		}
+		interactions[me] = st.Interactions
+		visits[me] = st.Visits
+		final[me] = mine
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = elapsed
+	pos := 0
+	for node := 0; node < nodes; node++ {
+		res.Interactions += interactions[node]
+		res.Visits += visits[node]
+		res.CellsCreated += cellsCreated[node]
+		pos += copy(res.Bodies[pos:], final[node])
+		res.Counters.Add(fab.Counters(node))
+	}
+	res.Breakdown = stats.Breakdown{Nodes: fab.Report()}
+	return res, nil
+}
+
+// agreeBounds merges every processor's local bounding box through a
+// shared accumulator and publishes the result as a value.
+func agreeBounds(c *core.Ctx, step int, mine []octlib.Body) octlib.Bounds {
+	name := core.N1(tagBBox, step)
+	if c.Node() == 0 {
+		c.CreateAccum(name, &octlib.BBoxItem{})
+	}
+	bb := c.BeginUpdateAccum(name).(*octlib.BBoxItem)
+	bb.Merge(mine)
+	c.Work(float64(len(mine)) * 6)
+	c.EndUpdateAccum(name)
+	c.Barrier()
+	if c.Node() == 0 {
+		c.BeginUpdateAccum(name)
+		c.EndUpdateAccumToValue(name, core.UsesUnlimited)
+	}
+	box := c.BeginUseValue(name).(*octlib.BBoxItem)
+	cube := box.Cube()
+	c.EndUseValue(name)
+	return cube
+}
+
+// buildTree inserts this processor's bodies into the shared oct-tree:
+// chaotic reads steer the descent; the potential insertion point is
+// accessed exclusively and re-examined, since the chaotic view may be
+// stale (Section 5.4). It returns the paths of cells this processor
+// created (it is responsible for their center-of-mass phase).
+func buildTree(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body, p Params) []octlib.Path {
+	var created []octlib.Path
+	name := func(path octlib.Path) core.Name { return octlib.CellName(tagCell, step, path) }
+	if c.Node() == 0 {
+		root := &octlib.Cell{Path: octlib.RootPath, Kind: octlib.LeafCell, Size: cube.Size}
+		c.CreateAccum(name(octlib.RootPath), root)
+		created = append(created, octlib.RootPath)
+	}
+	for _, b := range mine {
+		path := octlib.RootPath
+		bounds := cube
+		for inserted := false; !inserted; {
+			// Chaotic descent while the path is decided by existing
+			// structure.
+			cell := c.BeginReadChaotic(name(path)).(*octlib.Cell)
+			descend := -1
+			if cell.Kind == octlib.InternalCell {
+				oct, _ := bounds.Octant(b.Pos)
+				if cell.HasChild(oct) {
+					descend = oct
+				}
+			}
+			c.EndReadChaotic(name(path))
+			c.Work(30)
+			if descend >= 0 {
+				path, bounds = path.Child(descend), bounds.Child(descend)
+				continue
+			}
+			// Potential insertion point: take exclusive access and
+			// re-examine, since the snapshot may be stale.
+			cl := c.BeginUpdateAccum(name(path)).(*octlib.Cell)
+			switch {
+			case cl.Kind == octlib.InternalCell:
+				oct, cb := bounds.Octant(b.Pos)
+				if cl.HasChild(oct) {
+					// Lost a race; descend for real.
+					c.EndUpdateAccum(name(path))
+					path, bounds = path.Child(oct), cb
+					continue
+				}
+				childPath := path.Child(oct)
+				child := &octlib.Cell{
+					Path: childPath, Kind: octlib.LeafCell, Size: cb.Size,
+					Bodies: []octlib.Body{b},
+				}
+				c.CreateAccum(name(childPath), child)
+				created = append(created, childPath)
+				cl.ChildMask |= 1 << oct
+				c.EndUpdateAccum(name(path))
+				inserted = true
+
+			case len(cl.Bodies) < p.LeafCap || path.Level >= octlib.MaxDepth:
+				cl.Bodies = append(cl.Bodies, b)
+				c.EndUpdateAccum(name(path))
+				inserted = true
+
+			default:
+				// Split the full leaf, redistributing its bodies.
+				old := cl.Bodies
+				cl.Bodies = nil
+				cl.Kind = octlib.InternalCell
+				groups := make(map[int][]octlib.Body)
+				for _, ob := range old {
+					oct, _ := bounds.Octant(ob.Pos)
+					groups[oct] = append(groups[oct], ob)
+				}
+				for oct := 0; oct < 8; oct++ {
+					obs := groups[oct]
+					if len(obs) == 0 {
+						continue
+					}
+					childPath := path.Child(oct)
+					cb := bounds.Child(oct)
+					c.CreateAccum(name(childPath), &octlib.Cell{
+						Path: childPath, Kind: octlib.LeafCell, Size: cb.Size,
+						Bodies: obs,
+					})
+					created = append(created, childPath)
+					cl.ChildMask |= 1 << oct
+				}
+				c.EndUpdateAccum(name(path))
+				// Loop again: the body descends into the new structure.
+			}
+			c.Work(60)
+		}
+	}
+	return created
+}
+
+// computeCOM runs the post-order summarization: each processor finalizes
+// the cells it created, deepest levels first; reading a child's value
+// waits, through SAM's producer/consumer synchronization, until the
+// child's creator has converted it. No locks or flags are needed — this
+// is the paper's tree-based reduction example (Section 5.2).
+func computeCOM(c *core.Ctx, step int, created []octlib.Path, cfg Config) {
+	sort.Slice(created, func(a, b int) bool {
+		if created[a].Level != created[b].Level {
+			return created[a].Level > created[b].Level
+		}
+		return created[a].Bits < created[b].Bits
+	})
+	name := func(path octlib.Path) core.Name { return octlib.CellName(tagCell, step, path) }
+	for _, path := range created {
+		cl := c.BeginUpdateAccum(name(path)).(*octlib.Cell)
+		cl.Mass = 0
+		cl.Count = 0
+		var weighted octlib.Vec3
+		if cl.Kind == octlib.LeafCell {
+			for _, b := range cl.Bodies {
+				cl.Mass += b.Mass
+				weighted = weighted.Add(b.Pos.Scale(b.Mass))
+				cl.Count++
+			}
+			c.Compute(float64(len(cl.Bodies)) * octlib.FlopsPerCOM)
+		} else {
+			cl.HasSummaries = cfg.Blocking
+			for oct := 0; oct < 8; oct++ {
+				if !cl.HasChild(oct) {
+					continue
+				}
+				cn := name(path.Child(oct))
+				ch := c.BeginUseValue(cn).(*octlib.Cell)
+				cl.Mass += ch.Mass
+				weighted = weighted.Add(ch.COM.Scale(ch.Mass))
+				cl.Count += ch.Count
+				if cfg.Blocking {
+					s := octlib.ChildSummary{Kind: ch.Kind, Mass: ch.Mass, COM: ch.COM}
+					if ch.Kind == octlib.LeafCell {
+						s.Bodies = append([]octlib.Body(nil), ch.Bodies...)
+					}
+					cl.Child[oct] = s
+				}
+				c.EndUseValue(cn)
+				c.Compute(octlib.FlopsPerCOM)
+			}
+		}
+		if cl.Mass > 0 {
+			cl.COM = weighted.Scale(1 / cl.Mass)
+		}
+		c.EndUpdateAccumToValue(name(path), core.UsesUnlimited)
+		if cfg.PushLevels > 0 && path.Level < cfg.PushLevels {
+			for dst := 0; dst < c.N(); dst++ {
+				if dst != c.Node() {
+					c.PushValue(name(path), dst)
+				}
+			}
+		}
+	}
+}
+
+// forcePhase computes accelerations for this processor's bodies by
+// traversing the shared tree values, exploiting SAM's caching of recently
+// accessed cells.
+func forcePhase(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body,
+	accs []octlib.Vec3, p Params, cfg Config, st *octlib.ForceStats) {
+	name := func(path octlib.Path) core.Name { return octlib.CellName(tagCell, step, path) }
+	var stack []octlib.Path
+	for i := range mine {
+		b := mine[i]
+		var acc octlib.Vec3
+		beforeI, beforeV := st.Interactions, st.Visits
+		stack = append(stack[:0], octlib.RootPath)
+		for len(stack) > 0 {
+			path := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cn := name(path)
+			cell := c.BeginUseValue(cn).(*octlib.Cell)
+			st.Visits++
+			switch {
+			case cell.Count == 0:
+				// empty root of an empty octant
+			case cell.Kind == octlib.LeafCell:
+				for _, ob := range cell.Bodies {
+					if ob.ID != b.ID {
+						octlib.Accel(b.Pos, ob.Mass, ob.Pos, &acc)
+						st.Interactions++
+					}
+				}
+			case !octlib.Opens(b.Pos, cell.Size, cell.COM, p.Theta):
+				octlib.Accel(b.Pos, cell.Mass, cell.COM, &acc)
+				st.Interactions++
+			case cell.HasSummaries:
+				// Blocked tree: interact with unopened children in place;
+				// only opened internal children are fetched.
+				for oct := 7; oct >= 0; oct-- {
+					if !cell.HasChild(oct) {
+						continue
+					}
+					s := cell.Child[oct]
+					switch {
+					case s.Kind == octlib.LeafCell:
+						for _, ob := range s.Bodies {
+							if ob.ID != b.ID {
+								octlib.Accel(b.Pos, ob.Mass, ob.Pos, &acc)
+								st.Interactions++
+							}
+						}
+					case !octlib.Opens(b.Pos, cell.Size/2, s.COM, p.Theta):
+						octlib.Accel(b.Pos, s.Mass, s.COM, &acc)
+						st.Interactions++
+					default:
+						stack = append(stack, path.Child(oct))
+					}
+					st.Visits++
+				}
+			default:
+				// Push children in reverse so traversal order matches the
+				// serial recursion (octant 0 first).
+				for oct := 7; oct >= 0; oct-- {
+					if cell.HasChild(oct) {
+						stack = append(stack, path.Child(oct))
+					}
+				}
+			}
+			c.EndUseValue(cn)
+		}
+		accs[i] = acc
+		// Charge this body's traversal work so computation and
+		// communication interleave realistically on the timeline.
+		c.Compute(float64(st.Interactions-beforeI)*octlib.FlopsPerInteraction +
+			float64(st.Visits-beforeV)*octlib.FlopsPerVisit)
+	}
+}

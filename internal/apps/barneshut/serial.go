@@ -1,0 +1,82 @@
+// Package barneshut implements the paper's Barnes-Hut n-body application
+// (Section 4.2): a serial baseline, the SAM parallel version (shared
+// oct-tree built with chaotic descent and exclusive insertion, tree cells
+// converted to values for the force phase, optional tree blocking and
+// pushing of the top tree levels), and a Warren–Salmon style
+// message-passing baseline that exchanges locally essential trees.
+package barneshut
+
+import (
+	"samsys/internal/octlib"
+)
+
+// Params are the simulation parameters shared by all versions.
+type Params struct {
+	Steps   int
+	Theta   float64
+	DT      float64
+	LeafCap int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Steps == 0 {
+		p.Steps = 1
+	}
+	if p.Theta == 0 {
+		p.Theta = 1.0
+	}
+	if p.DT == 0 {
+		p.DT = 1e-3
+	}
+	if p.LeafCap == 0 {
+		p.LeafCap = 1
+	}
+	return p
+}
+
+// SerialResult reports a serial run: the evolved bodies plus the useful
+// work performed, which is the speedup baseline for the parallel runs.
+type SerialResult struct {
+	Bodies       []octlib.Body
+	Work         float64 // flops of the serial algorithm
+	Interactions int64
+	Visits       int64
+	COMOps       int64
+	Cells        int64
+	InsertSteps  int64
+}
+
+// RunSerial evolves the bodies with the serial Barnes-Hut algorithm.
+func RunSerial(bodies []octlib.Body, p Params) *SerialResult {
+	p = p.withDefaults()
+	bs := append([]octlib.Body(nil), bodies...)
+	res := &SerialResult{}
+	accs := make([]octlib.Vec3, len(bs))
+	for step := 0; step < p.Steps; step++ {
+		tr := octlib.NewLocalTree(octlib.CubeAround(bs), p.LeafCap)
+		for i := range bs {
+			tr.Insert(bs[i])
+		}
+		res.Cells += int64(tr.Cells)
+		res.COMOps += int64(tr.ComputeCOM())
+		var st octlib.ForceStats
+		for i := range bs {
+			accs[i] = tr.AccelOn(bs[i].Pos, bs[i].ID, p.Theta, &st)
+		}
+		res.Interactions += st.Interactions
+		res.Visits += st.Visits
+		for i := range bs {
+			octlib.Advance(&bs[i], accs[i], p.DT)
+		}
+	}
+	// Insertion work: roughly one descent step per tree level per body;
+	// approximate with cells created plus body count per step.
+	res.InsertSteps = res.Cells + int64(len(bs)*p.Steps)
+	res.Work = float64(res.Interactions)*octlib.FlopsPerInteraction +
+		float64(res.Visits)*octlib.FlopsPerVisit +
+		float64(res.COMOps)*octlib.FlopsPerCOM +
+		float64(len(bs)*p.Steps)*octlib.FlopsPerAdvance +
+		float64(res.InsertSteps)*8
+	res.Bodies = bs
+	return res
+}

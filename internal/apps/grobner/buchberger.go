@@ -1,0 +1,172 @@
+package grobner
+
+import "sort"
+
+// Pair is a critical pair of basis indices with its selection priority.
+type Pair struct {
+	I, J    int32
+	Sugar   int32 // sugar heuristic value
+	Deg     int32 // total degree of lcm(LM_i, LM_j)
+	Retries int32 // postponements after aborted reductions (parallel only)
+}
+
+// pairLess is the task-ordering heuristic shared by the serial and
+// parallel algorithms (the paper stresses that both use the same
+// heuristic): sugar first, then lcm degree, then index order.
+func pairLess(a, b Pair) bool {
+	if a.Sugar != b.Sugar {
+		return a.Sugar < b.Sugar
+	}
+	if a.Deg != b.Deg {
+		return a.Deg < b.Deg
+	}
+	if a.J != b.J {
+		return a.J < b.J
+	}
+	return a.I < b.I
+}
+
+// makePair computes the pair's heuristic values.
+func makePair(basis []*Poly, i, j int32) Pair {
+	f, g := basis[i], basis[j]
+	l := f.LM().LCM(g.LM())
+	sf := f.Sugar + (l.Deg - f.LM().Deg)
+	sg := g.Sugar + (l.Deg - g.LM().Deg)
+	s := sf
+	if sg > s {
+		s = sg
+	}
+	return Pair{I: i, J: j, Sugar: s, Deg: l.Deg}
+}
+
+// productCriterion reports whether the pair may be skipped because the
+// leading monomials are disjoint (Buchberger's first criterion).
+func productCriterion(f, g *Poly) bool {
+	lf, lg := f.LM(), g.LM()
+	return lf.LCM(lg).Deg == lf.Deg+lg.Deg
+}
+
+// SerialResult reports a serial Buchberger run.
+type SerialResult struct {
+	Basis      []*Poly
+	Work       int64 // coefficient-word operations (speedup baseline)
+	PairsDone  int64 // pairs examined (the paper's "polynomials tested")
+	Reductions int64 // S-polynomials reduced
+	Additions  int64 // polynomials added to the basis
+}
+
+// RunSerial computes a Gröbner basis of the input with Buchberger's
+// algorithm under the sugar strategy.
+func RunSerial(in Input) *SerialResult {
+	var w Meter
+	res := &SerialResult{}
+	var basis []*Poly
+	var pairs []Pair
+	addPoly := func(p *Poly) {
+		p.Sugar = p.Degree()
+		k := int32(len(basis))
+		basis = append(basis, p)
+		for i := int32(0); i < k; i++ {
+			pairs = append(pairs, makePair(basis, i, k))
+		}
+		res.Additions++
+	}
+	for _, p := range in.Polys {
+		q := p.Copy()
+		q.Normalize(&w)
+		if !q.IsZero() {
+			addPoly(q)
+		}
+	}
+	for len(pairs) > 0 {
+		// Select the best pair under the heuristic.
+		best := 0
+		for i := 1; i < len(pairs); i++ {
+			if pairLess(pairs[i], pairs[best]) {
+				best = i
+			}
+		}
+		pr := pairs[best]
+		pairs[best] = pairs[len(pairs)-1]
+		pairs = pairs[:len(pairs)-1]
+		res.PairsDone++
+		f, g := basis[pr.I], basis[pr.J]
+		if productCriterion(f, g) {
+			continue
+		}
+		s := SPoly(f, g, &w)
+		if s.IsZero() {
+			continue
+		}
+		s.Sugar = pr.Sugar
+		res.Reductions++
+		nf := Reduce(s, basis, &w)
+		if nf.IsZero() {
+			continue
+		}
+		nf.Sugar = pr.Sugar
+		addPoly(nf)
+	}
+	res.Basis = basis
+	res.Work = w.Ops
+	return res
+}
+
+// ReducedBasis inter-reduces a Gröbner basis into the unique reduced
+// basis (up to scaling): redundant generators removed and every element
+// fully reduced against the others.
+func ReducedBasis(basis []*Poly) []*Poly {
+	// Drop elements whose leading monomial is divisible by another's.
+	kept := make([]*Poly, 0, len(basis))
+	for i, p := range basis {
+		if p == nil || p.IsZero() {
+			continue
+		}
+		redundant := false
+		for j, q := range basis {
+			if i == j || q == nil || q.IsZero() {
+				continue
+			}
+			if q.LM().Divides(p.LM()) && (q.LM().Compare(p.LM()) != 0 || j < i) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, p)
+		}
+	}
+	// Fully reduce each element against the rest.
+	out := make([]*Poly, len(kept))
+	for i, p := range kept {
+		others := make([]*Poly, 0, len(kept)-1)
+		others = append(others, kept[:i]...)
+		others = append(others, kept[i+1:]...)
+		out[i] = Reduce(p, others, nil)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].LM().Compare(out[b].LM()) > 0 })
+	return out
+}
+
+// SameIdeal reports whether two Gröbner bases generate the same ideal, by
+// mutual reduction: every element of each basis must reduce to zero
+// modulo the other.
+func SameIdeal(a, b []*Poly) bool {
+	for _, p := range a {
+		if p == nil || p.IsZero() {
+			continue
+		}
+		if !Reduce(p, b, nil).IsZero() {
+			return false
+		}
+	}
+	for _, p := range b {
+		if p == nil || p.IsZero() {
+			continue
+		}
+		if !Reduce(p, a, nil).IsZero() {
+			return false
+		}
+	}
+	return true
+}

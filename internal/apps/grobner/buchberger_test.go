@@ -1,0 +1,140 @@
+package grobner
+
+import (
+	"testing"
+)
+
+func TestSerialSimpleIdeal(t *testing.T) {
+	// {x^2-y, x^3-x} has reduced basis including y-related elements;
+	// verify basics: every S-polynomial of the result reduces to zero
+	// (the Buchberger criterion for being a Gröbner basis).
+	ring := NewRing(2, "x", "y")
+	_ = ring
+	in := Input{Name: "simple", Ring: ring, Polys: []*Poly{
+		NewPoly([]Term{term(1, 2, 0), term(-1, 0, 1)}),
+		NewPoly([]Term{term(1, 3, 0), term(-1, 1, 0)}),
+	}}
+	res := RunSerial(in)
+	assertGrobner(t, res.Basis)
+}
+
+// assertGrobner checks the Buchberger criterion.
+func assertGrobner(t *testing.T, basis []*Poly) {
+	t.Helper()
+	for i := range basis {
+		for j := i + 1; j < len(basis); j++ {
+			s := SPoly(basis[i], basis[j], nil)
+			if s.IsZero() {
+				continue
+			}
+			if nf := Reduce(s, basis, nil); !nf.IsZero() {
+				t.Fatalf("S-poly (%d,%d) does not reduce to zero: not a Groebner basis", i, j)
+			}
+		}
+	}
+}
+
+func TestSerialKatsura2Known(t *testing.T) {
+	// katsura2's reduced basis over grevlex is small and the ideal is
+	// zero-dimensional; verify the Buchberger criterion and that the
+	// input polynomials reduce to zero against the basis.
+	in := Katsura(2)
+	res := RunSerial(in)
+	assertGrobner(t, res.Basis)
+	for _, p := range in.Polys {
+		if !Reduce(p, res.Basis, nil).IsZero() {
+			t.Error("input polynomial not in the ideal of the basis")
+		}
+	}
+}
+
+func TestSerialKatsura3(t *testing.T) {
+	res := RunSerial(Katsura(3))
+	assertGrobner(t, res.Basis)
+	if res.Work == 0 || res.PairsDone == 0 {
+		t.Error("no work recorded")
+	}
+}
+
+func TestSerialCyclic4(t *testing.T) {
+	res := RunSerial(Cyclic(4))
+	assertGrobner(t, res.Basis)
+}
+
+func TestSerialNoon3(t *testing.T) {
+	res := RunSerial(Noon(3))
+	assertGrobner(t, res.Basis)
+}
+
+func TestReducedBasisIdempotentAndEquivalent(t *testing.T) {
+	res := RunSerial(Katsura(3))
+	red := ReducedBasis(res.Basis)
+	if len(red) > len(res.Basis) {
+		t.Error("reduction grew the basis")
+	}
+	if !SameIdeal(res.Basis, red) {
+		t.Error("reduced basis generates a different ideal")
+	}
+	red2 := ReducedBasis(red)
+	if len(red2) != len(red) {
+		t.Errorf("reduced basis not stable: %d -> %d", len(red), len(red2))
+	}
+}
+
+func TestSameIdealDetectsDifference(t *testing.T) {
+	a := []*Poly{NewPoly([]Term{term(1, 1, 0)})} // {x}
+	b := []*Poly{NewPoly([]Term{term(1, 0, 1)})} // {y}
+	if SameIdeal(a, b) {
+		t.Error("distinct ideals reported equal")
+	}
+	if !SameIdeal(a, a) {
+		t.Error("ideal not equal to itself")
+	}
+}
+
+func TestInputsWellFormed(t *testing.T) {
+	for _, in := range []Input{Katsura(2), Katsura(4), Cyclic(4), Cyclic(5), Noon(3), Noon(4)} {
+		if len(in.Polys) == 0 {
+			t.Fatalf("%s: no polynomials", in.Name)
+		}
+		for _, p := range in.Polys {
+			if p.IsZero() {
+				t.Fatalf("%s: zero polynomial in input", in.Name)
+			}
+		}
+	}
+	// katsura-n has n+1 equations; cyclic-n and noon-n have n.
+	if got := len(Katsura(4).Polys); got != 5 {
+		t.Errorf("katsura4 has %d polys, want 5", got)
+	}
+	if got := len(Cyclic(5).Polys); got != 5 {
+		t.Errorf("cyclic5 has %d polys, want 5", got)
+	}
+	if got := len(Noon(4).Polys); got != 4 {
+		t.Errorf("noon4 has %d polys, want 4", got)
+	}
+}
+
+func TestProductCriterion(t *testing.T) {
+	x := NewPoly([]Term{term(1, 2, 0), term(1, 0, 0)}) // x^2+1
+	y := NewPoly([]Term{term(1, 0, 2), term(1, 0, 0)}) // y^2+1
+	if !productCriterion(x, y) {
+		t.Error("disjoint leading monomials should satisfy the criterion")
+	}
+	xy := NewPoly([]Term{term(1, 1, 1)})
+	if productCriterion(x, xy) {
+		t.Error("overlapping leading monomials should not satisfy it")
+	}
+}
+
+func TestPairHeuristicOrdering(t *testing.T) {
+	a := Pair{Sugar: 2, Deg: 5}
+	b := Pair{Sugar: 3, Deg: 1}
+	if !pairLess(a, b) {
+		t.Error("lower sugar must come first")
+	}
+	c := Pair{Sugar: 2, Deg: 4}
+	if !pairLess(c, a) {
+		t.Error("equal sugar: lower lcm degree first")
+	}
+}

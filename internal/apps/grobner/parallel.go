@@ -1,0 +1,255 @@
+package grobner
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/dset"
+	"samsys/internal/fabric"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+// Parallel Buchberger under SAM (Section 4.3). The growing basis is a
+// distributed set: each polynomial is a SAM value (immutable once added,
+// so SAM's dynamic caching of basis polynomials is what makes repeated
+// reductions cheap), and the set's size lives in an accumulator that is
+// read chaotically during reductions. Critical pairs are dynamic tasks
+// distributed across processors; termination uses the runtime's global
+// quiescence detection.
+//
+// As the paper observes, the parallel algorithm is inherently
+// nondeterministic in how much work it does: processors reduce against
+// slightly stale views of the basis, typically producing a somewhat
+// larger basis (and more total work) than the serial run — but always a
+// correct Gröbner basis of the same ideal.
+
+const setTag = 30
+
+// cyclesPerOp converts coefficient-word operations of the
+// arbitrary-precision package to machine cycles for time charging.
+const cyclesPerOp = 40
+
+// Config parameterizes a parallel run.
+type Config struct {
+	Input Input
+}
+
+// Result reports a parallel run.
+type Result struct {
+	Elapsed    sim.Time
+	Basis      []*Poly
+	PairsDone  int64 // pairs examined across all processors
+	Additions  int64 // polynomials added to the basis
+	Work       int64 // coefficient-word ops across all processors
+	Counters   stats.Counters
+	Breakdown  stats.Breakdown
+	SerialWork int64 // filled by callers for convenience
+}
+
+// PolysTestedPerSecond is the paper's absolute performance metric for
+// Figure 8: serial pairs examined divided by parallel run time.
+func (r *Result) PolysTestedPerSecond(serialPairs int64) float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(serialPairs) / sim.SecondsOf(r.Elapsed)
+}
+
+// defaultChaoticMaxAge bounds staleness of the chaotic set-size reads:
+// redundant Gröbner work grows with staleness, so "recent" must actually
+// be recent (the Barnes-Hut tree, being monotonic, needs no such bound).
+const defaultChaoticMaxAge = sim.Millisecond
+
+// Run computes a Gröbner basis of the input on the fabric under SAM.
+func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
+	if opts.ChaoticMaxAge == 0 {
+		opts.ChaoticMaxAge = defaultChaoticMaxAge
+	}
+	nodes := fab.N()
+	res := &Result{}
+	pairsDone := make([]int64, nodes)
+	additions := make([]int64, nodes)
+	work := make([]int64, nodes)
+	var elapsed sim.Time
+	var basisOut []*Poly
+
+	set := dset.Set{Tag: setTag, ID: 1}
+	w := core.NewWorld(fab, opts)
+	err := w.Run(func(c *core.Ctx) {
+		me := c.Node()
+		c.SetTaskOrder(func(a, b any) bool { return pairLess(a.(Pair), b.(Pair)) })
+		var meter Meter
+		charge := func() {
+			delta := meter.Ops
+			meter.Ops = 0
+			c.Work(float64(delta) * cyclesPerOp)
+			work[me] += delta
+		}
+
+		// pinBasis pins elements [0, n) for the duration of f, giving the
+		// reduction a consistent view; SAM's cache makes repeat pins
+		// local hits (the dynamic caching the application depends on).
+		pinBasis := func(n int64, f func(basis []*Poly)) {
+			basis := make([]*Poly, n)
+			for i := int64(0); i < n; i++ {
+				basis[i] = set.BeginGet(c, i).(Item).P
+			}
+			f(basis)
+			for i := int64(0); i < n; i++ {
+				set.EndGet(c, i)
+			}
+		}
+
+		spawnPairs := func(idx int64) {
+			additions[me]++
+			pinBasis(idx+1, func(basis []*Poly) {
+				for m := int64(0); m < idx; m++ {
+					pr := makePairOf(basis[m], basis[idx], int32(m), int32(idx))
+					dst := int(idx+m) % nodes
+					c.SpawnTask(dst, pr, 24)
+				}
+			})
+		}
+
+		addPoly := func(p *Poly) int64 {
+			idx := set.Add(c, Item{P: p})
+			spawnPairs(idx)
+			return idx
+		}
+
+		if me == 0 {
+			set.Create(c)
+			for _, p := range cfg.Input.Polys {
+				q := p.Copy()
+				q.Normalize(&meter)
+				q.Sugar = q.Degree()
+				if !q.IsZero() {
+					addPoly(q)
+				}
+			}
+			charge()
+		}
+		c.Barrier()
+		start := c.Now()
+
+		for {
+			tk, ok := c.NextTask()
+			if !ok {
+				break
+			}
+			pr := tk.(Pair)
+			pairsDone[me]++
+			// A task naming index j proves the set has at least j+1
+			// elements, supplementing a possibly stale chaotic view.
+			view := int64(pr.J) + 1
+			if n := set.LenChaotic(c); n > view {
+				view = n
+			}
+			var nf *Poly
+			postponed := false
+			pinBasis(view, func(basis []*Poly) {
+				f, g := basis[pr.I], basis[pr.J]
+				if productCriterion(f, g) {
+					return
+				}
+				s := SPoly(f, g, &meter)
+				if s.IsZero() {
+					return
+				}
+				s.Sugar = pr.Sugar
+				// Bound intermediate coefficient swell: a pair whose
+				// reduction explodes against the current (immature) basis
+				// is postponed and retried once more of the basis exists;
+				// after a few retries it is forced through unbounded so
+				// the algorithm always terminates.
+				budget := 1 << 13
+				if pr.Retries >= 3 {
+					budget = 0
+				}
+				var ok bool
+				nf, ok = ReduceBounded(s, basis, &meter, budget)
+				if !ok {
+					postponed = true
+				}
+			})
+			if postponed {
+				retry := pr
+				retry.Retries++
+				retry.Sugar += 2 // let nearer-term pairs run first
+				c.SpawnTask(me, retry, 24)
+				charge()
+				continue
+			}
+			// The basis may have grown while we reduced; fold in any new
+			// elements visible chaotically, then publish with a
+			// compare-and-add: the polynomial enters the basis only if it
+			// was reduced against every element present at add time,
+			// which prevents concurrent processors from flooding the
+			// basis with mutually reducible polynomials.
+			for nf != nil && !nf.IsZero() {
+				if n := set.LenChaotic(c); n > view {
+					view = n
+					keep := nf
+					pinBasis(view, func(basis []*Poly) {
+						keep = Reduce(keep, basis, &meter)
+					})
+					nf = keep
+					continue
+				}
+				nf.Sugar = pr.Sugar
+				idx, ok := set.AddIf(c, view, Item{P: nf})
+				if ok {
+					charge()
+					spawnPairs(idx)
+					break
+				}
+				// Lost the race: idx is the current count; reduce against
+				// the elements added meanwhile and try again.
+				view = idx
+				keep := nf
+				pinBasis(view, func(basis []*Poly) {
+					keep = Reduce(keep, basis, &meter)
+				})
+				nf = keep
+			}
+			charge()
+		}
+
+		c.Barrier()
+		if me == 0 {
+			elapsed = c.Now() - start
+			// Collect the final basis (outside the timed region).
+			n := set.Len(c)
+			basisOut = make([]*Poly, n)
+			pinBasis(n, func(basis []*Poly) {
+				for i := int64(0); i < n; i++ {
+					basisOut[i] = basis[i].Copy()
+				}
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = elapsed
+	res.Basis = basisOut
+	for i := 0; i < nodes; i++ {
+		res.PairsDone += pairsDone[i]
+		res.Additions += additions[i]
+		res.Work += work[i]
+		res.Counters.Add(fab.Counters(i))
+	}
+	res.Breakdown = stats.Breakdown{Nodes: fab.Report()}
+	return res, nil
+}
+
+// makePairOf computes pair heuristics from the two polynomials directly.
+func makePairOf(f, g *Poly, i, j int32) Pair {
+	l := f.LM().LCM(g.LM())
+	sf := f.Sugar + (l.Deg - f.LM().Deg)
+	sg := g.Sugar + (l.Deg - g.LM().Deg)
+	s := sf
+	if sg > s {
+		s = sg
+	}
+	return Pair{I: i, J: j, Sugar: s, Deg: l.Deg}
+}

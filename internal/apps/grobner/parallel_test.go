@@ -1,0 +1,127 @@
+package grobner
+
+import (
+	"testing"
+
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+)
+
+func runParallelGB(t *testing.T, in Input, nodes int, opts core.Options) *Result {
+	t.Helper()
+	fab := simfab.New(machine.CM5, nodes)
+	res, err := Run(fab, opts, Config{Input: in})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	return res
+}
+
+func TestParallelGrobnerCorrectKatsura3(t *testing.T) {
+	in := Katsura(3)
+	serial := RunSerial(in)
+	res := runParallelGB(t, in, 4, core.Options{})
+	assertGrobner(t, res.Basis)
+	if !SameIdeal(serial.Basis, res.Basis) {
+		t.Error("parallel basis generates a different ideal")
+	}
+}
+
+func TestParallelGrobnerSingleNodeMatchesSerial(t *testing.T) {
+	in := Katsura(3)
+	serial := RunSerial(in)
+	res := runParallelGB(t, in, 1, core.Options{})
+	assertGrobner(t, res.Basis)
+	if !SameIdeal(serial.Basis, res.Basis) {
+		t.Error("single-node parallel basis differs in ideal")
+	}
+	// One processor with the same heuristic does the same pair work.
+	if res.Additions != serial.Additions {
+		t.Errorf("single-node additions %d, serial %d", res.Additions, serial.Additions)
+	}
+}
+
+func TestParallelGrobnerCyclic4(t *testing.T) {
+	in := Cyclic(4)
+	serial := RunSerial(in)
+	res := runParallelGB(t, in, 6, core.Options{})
+	assertGrobner(t, res.Basis)
+	if !SameIdeal(serial.Basis, res.Basis) {
+		t.Error("parallel cyclic4 basis differs in ideal")
+	}
+}
+
+func TestParallelGrobnerNoon3(t *testing.T) {
+	in := Noon(3)
+	serial := RunSerial(in)
+	res := runParallelGB(t, in, 8, core.Options{})
+	assertGrobner(t, res.Basis)
+	if !SameIdeal(serial.Basis, res.Basis) {
+		t.Error("parallel noon3 basis differs in ideal")
+	}
+}
+
+func TestParallelDoesAtLeastSerialAdditions(t *testing.T) {
+	// The parallel run reduces against possibly stale views, so its basis
+	// is at least as large as the serial one (the paper's extra-work
+	// effect) and the result is still correct.
+	in := Katsura(3)
+	serial := RunSerial(in)
+	res := runParallelGB(t, in, 8, core.Options{})
+	if res.Additions < serial.Additions {
+		t.Errorf("parallel additions %d below serial %d", res.Additions, serial.Additions)
+	}
+}
+
+func TestParallelGrobnerInvalidateMode(t *testing.T) {
+	in := Katsura(3)
+	serial := RunSerial(in)
+	res := runParallelGB(t, in, 4, core.Options{Invalidate: true})
+	assertGrobner(t, res.Basis)
+	if !SameIdeal(serial.Basis, res.Basis) {
+		t.Error("invalidate-mode basis differs in ideal")
+	}
+}
+
+func TestParallelGrobnerNoCache(t *testing.T) {
+	in := Katsura(2)
+	serial := RunSerial(in)
+	res := runParallelGB(t, in, 4, core.Options{NoCache: true})
+	assertGrobner(t, res.Basis)
+	if !SameIdeal(serial.Basis, res.Basis) {
+		t.Error("no-cache basis differs in ideal")
+	}
+}
+
+func TestCachingSpeedsUpGrobner(t *testing.T) {
+	in := Katsura(3)
+	cached := runParallelGB(t, in, 8, core.Options{})
+	uncached := runParallelGB(t, in, 8, core.Options{NoCache: true})
+	if cached.Elapsed >= uncached.Elapsed {
+		t.Errorf("caching did not help: %v vs %v", cached.Elapsed, uncached.Elapsed)
+	}
+}
+
+func TestChaoticSpeedsUpGrobner(t *testing.T) {
+	// Figure 14: chaotic access to the set pointers beats invalidation.
+	in := Katsura(4)
+	chaotic := runParallelGB(t, in, 8, core.Options{})
+	inval := runParallelGB(t, in, 8, core.Options{Invalidate: true})
+	if float64(chaotic.Elapsed) > 1.05*float64(inval.Elapsed) {
+		t.Errorf("chaotic (%v) slower than invalidate (%v)", chaotic.Elapsed, inval.Elapsed)
+	}
+}
+
+func TestParallelCountersPopulated(t *testing.T) {
+	res := runParallelGB(t, Katsura(3), 4, core.Options{})
+	if res.Counters.SharedAccesses == 0 || res.Counters.ValueUses == 0 {
+		t.Error("counters not populated")
+	}
+	if res.Work == 0 || res.PairsDone == 0 {
+		t.Error("work counters not populated")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}

@@ -1,0 +1,462 @@
+// Package grobner implements the paper's Gröbner basis application
+// (Section 4.3): multivariate polynomial arithmetic over the rationals
+// with arbitrary-precision coefficients, Buchberger's algorithm with the
+// sugar pair-selection heuristic and the product criterion, a serial
+// baseline, and the SAM parallel version built on a distributed set
+// abstraction with chaotic access to its head/tail state.
+//
+// Polynomials are kept with integer coefficients, primitive and with a
+// positive leading coefficient; S-polynomials and reductions use
+// fraction-free integer arithmetic, which is equivalent to working over Q.
+package grobner
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"samsys/internal/pack"
+)
+
+// MaxVars bounds the number of variables (monomials store a fixed-size
+// exponent vector so they are comparable values).
+const MaxVars = 12
+
+// Ring is a polynomial ring Q[x0..x_{n-1}] under graded reverse
+// lexicographic order.
+type Ring struct {
+	N     int
+	Names []string
+}
+
+// NewRing creates a ring with n variables named x0..x{n-1} (or the given
+// names).
+func NewRing(n int, names ...string) *Ring {
+	if n > MaxVars {
+		panic(fmt.Sprintf("grobner: %d variables exceeds MaxVars=%d", n, MaxVars))
+	}
+	r := &Ring{N: n, Names: names}
+	for len(r.Names) < n {
+		r.Names = append(r.Names, fmt.Sprintf("x%d", len(r.Names)))
+	}
+	return r
+}
+
+// Mono is a monomial: an exponent vector with cached total degree.
+type Mono struct {
+	Deg  int32
+	Exps [MaxVars]uint8
+}
+
+// MonoOf builds a monomial from an exponent list.
+func MonoOf(exps ...int) Mono {
+	var m Mono
+	for i, e := range exps {
+		m.Exps[i] = uint8(e)
+		m.Deg += int32(e)
+	}
+	return m
+}
+
+// Mul returns the product monomial.
+func (m Mono) Mul(o Mono) Mono {
+	r := Mono{Deg: m.Deg + o.Deg}
+	for i := range r.Exps {
+		r.Exps[i] = m.Exps[i] + o.Exps[i]
+	}
+	return r
+}
+
+// Divides reports whether m divides o.
+func (m Mono) Divides(o Mono) bool {
+	if m.Deg > o.Deg {
+		return false
+	}
+	for i := range m.Exps {
+		if m.Exps[i] > o.Exps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Div returns o with m divided out; m must divide o.
+func (m Mono) DivInto(o Mono) Mono {
+	r := Mono{Deg: o.Deg - m.Deg}
+	for i := range r.Exps {
+		r.Exps[i] = o.Exps[i] - m.Exps[i]
+	}
+	return r
+}
+
+// LCM returns the least common multiple.
+func (m Mono) LCM(o Mono) Mono {
+	var r Mono
+	for i := range r.Exps {
+		e := m.Exps[i]
+		if o.Exps[i] > e {
+			e = o.Exps[i]
+		}
+		r.Exps[i] = e
+		r.Deg += int32(e)
+	}
+	return r
+}
+
+// Compare orders monomials by graded reverse lexicographic order:
+// positive if m > o.
+func (m Mono) Compare(o Mono) int {
+	if m.Deg != o.Deg {
+		if m.Deg > o.Deg {
+			return 1
+		}
+		return -1
+	}
+	// grevlex: with equal degree, the one whose last differing exponent
+	// is smaller is larger.
+	for i := MaxVars - 1; i >= 0; i-- {
+		if m.Exps[i] != o.Exps[i] {
+			if m.Exps[i] < o.Exps[i] {
+				return 1
+			}
+			return -1
+		}
+	}
+	return 0
+}
+
+// Term is a coefficient times a monomial.
+type Term struct {
+	Coef *big.Int
+	M    Mono
+}
+
+// Poly is a polynomial: terms sorted in decreasing monomial order, no
+// zero coefficients. The zero polynomial has no terms.
+type Poly struct {
+	Terms []Term
+	Sugar int32 // sugar degree, maintained by the Buchberger driver
+}
+
+// NewPoly builds a polynomial from unsorted terms, combining duplicates.
+func NewPoly(terms []Term) *Poly {
+	sort.Slice(terms, func(a, b int) bool { return terms[a].M.Compare(terms[b].M) > 0 })
+	out := make([]Term, 0, len(terms))
+	for _, t := range terms {
+		if len(out) > 0 && out[len(out)-1].M.Compare(t.M) == 0 {
+			out[len(out)-1].Coef = new(big.Int).Add(out[len(out)-1].Coef, t.Coef)
+			continue
+		}
+		out = append(out, Term{Coef: new(big.Int).Set(t.Coef), M: t.M})
+	}
+	final := out[:0]
+	for _, t := range out {
+		if t.Coef.Sign() != 0 {
+			final = append(final, t)
+		}
+	}
+	return &Poly{Terms: append([]Term(nil), final...)}
+}
+
+// IsZero reports whether the polynomial is zero.
+func (p *Poly) IsZero() bool { return len(p.Terms) == 0 }
+
+// LT returns the leading term; the polynomial must be nonzero.
+func (p *Poly) LT() Term { return p.Terms[0] }
+
+// LM returns the leading monomial.
+func (p *Poly) LM() Mono { return p.Terms[0].M }
+
+// Degree returns the total degree (-1 for zero).
+func (p *Poly) Degree() int32 {
+	if p.IsZero() {
+		return -1
+	}
+	d := int32(-1)
+	for _, t := range p.Terms {
+		if t.M.Deg > d {
+			d = t.M.Deg
+		}
+	}
+	return d
+}
+
+// Copy deep-copies the polynomial.
+func (p *Poly) Copy() *Poly {
+	terms := make([]Term, len(p.Terms))
+	for i, t := range p.Terms {
+		terms[i] = Term{Coef: new(big.Int).Set(t.Coef), M: t.M}
+	}
+	return &Poly{Terms: terms, Sugar: p.Sugar}
+}
+
+// Equal reports structural equality.
+func (p *Poly) Equal(o *Poly) bool {
+	if len(p.Terms) != len(o.Terms) {
+		return false
+	}
+	for i := range p.Terms {
+		if p.Terms[i].M.Compare(o.Terms[i].M) != 0 ||
+			p.Terms[i].Coef.Cmp(o.Terms[i].Coef) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial in the ring's variable names.
+func (p *Poly) StringIn(r *Ring) string {
+	if p.IsZero() {
+		return "0"
+	}
+	var sb strings.Builder
+	for i, t := range p.Terms {
+		if i > 0 {
+			if t.Coef.Sign() >= 0 {
+				sb.WriteString(" + ")
+			} else {
+				sb.WriteString(" - ")
+			}
+		} else if t.Coef.Sign() < 0 {
+			sb.WriteString("-")
+		}
+		abs := new(big.Int).Abs(t.Coef)
+		if abs.Cmp(big.NewInt(1)) != 0 || t.M.Deg == 0 {
+			sb.WriteString(abs.String())
+		}
+		for v := 0; v < r.N; v++ {
+			switch e := t.M.Exps[v]; {
+			case e == 1:
+				fmt.Fprintf(&sb, "%s", r.Names[v])
+			case e > 1:
+				fmt.Fprintf(&sb, "%s^%d", r.Names[v], e)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Meter accumulates the work of polynomial operations in coefficient-word
+// operations; the simulation charges CPU time proportional to it.
+type Meter struct{ Ops int64 }
+
+func (w *Meter) charge(a, b *big.Int) {
+	if w == nil {
+		return
+	}
+	words := int64(a.BitLen()+b.BitLen())/64 + 1
+	w.Ops += words
+}
+
+// Normalize makes the polynomial primitive (content removed) with a
+// positive leading coefficient, in place.
+func (p *Poly) Normalize(w *Meter) {
+	if p.IsZero() {
+		return
+	}
+	content := new(big.Int).Abs(p.Terms[0].Coef)
+	one := big.NewInt(1)
+	for _, t := range p.Terms[1:] {
+		if content.Cmp(one) == 0 {
+			break
+		}
+		content.GCD(nil, nil, content, new(big.Int).Abs(t.Coef))
+		if w != nil {
+			w.charge(content, t.Coef)
+		}
+	}
+	if p.Terms[0].Coef.Sign() < 0 {
+		content.Neg(content)
+	}
+	if content.Cmp(one) != 0 {
+		for i := range p.Terms {
+			p.Terms[i].Coef.Quo(p.Terms[i].Coef, content)
+			if w != nil {
+				w.charge(p.Terms[i].Coef, content)
+			}
+		}
+	}
+}
+
+// mulTerm returns p * c*m.
+func (p *Poly) mulTerm(c *big.Int, m Mono, w *Meter) *Poly {
+	terms := make([]Term, len(p.Terms))
+	for i, t := range p.Terms {
+		terms[i] = Term{Coef: new(big.Int).Mul(t.Coef, c), M: t.M.Mul(m)}
+		if w != nil {
+			w.charge(t.Coef, c)
+		}
+	}
+	return &Poly{Terms: terms}
+}
+
+// sub returns p - o, merging sorted term lists.
+func (p *Poly) sub(o *Poly, w *Meter) *Poly {
+	terms := make([]Term, 0, len(p.Terms)+len(o.Terms))
+	i, j := 0, 0
+	for i < len(p.Terms) && j < len(o.Terms) {
+		cmp := p.Terms[i].M.Compare(o.Terms[j].M)
+		switch {
+		case cmp > 0:
+			terms = append(terms, p.Terms[i])
+			i++
+		case cmp < 0:
+			terms = append(terms, Term{Coef: new(big.Int).Neg(o.Terms[j].Coef), M: o.Terms[j].M})
+			j++
+		default:
+			d := new(big.Int).Sub(p.Terms[i].Coef, o.Terms[j].Coef)
+			if w != nil {
+				w.charge(p.Terms[i].Coef, o.Terms[j].Coef)
+			}
+			if d.Sign() != 0 {
+				terms = append(terms, Term{Coef: d, M: p.Terms[i].M})
+			}
+			i++
+			j++
+		}
+	}
+	terms = append(terms, p.Terms[i:]...)
+	for ; j < len(o.Terms); j++ {
+		terms = append(terms, Term{Coef: new(big.Int).Neg(o.Terms[j].Coef), M: o.Terms[j].M})
+	}
+	return &Poly{Terms: terms}
+}
+
+// SPoly returns the S-polynomial of f and g (fraction-free over the
+// integers), not normalized.
+func SPoly(f, g *Poly, w *Meter) *Poly {
+	lf, lg := f.LT(), g.LT()
+	l := lf.M.LCM(lg.M)
+	gcd := new(big.Int).GCD(nil, nil, lf.Coef, lg.Coef)
+	cf := new(big.Int).Quo(lg.Coef, gcd)
+	cg := new(big.Int).Quo(lf.Coef, gcd)
+	a := f.mulTerm(cf, lf.M.DivInto(l), w)
+	b := g.mulTerm(cg, lg.M.DivInto(l), w)
+	return a.sub(b, w)
+}
+
+// Reduce computes a full normal form of p modulo the basis (fraction-free:
+// the result is a primitive integer polynomial with positive leading
+// coefficient, equivalent over Q). basis polynomials are read-only.
+func Reduce(p *Poly, basis []*Poly, w *Meter) *Poly {
+	nf, _ := ReduceBounded(p, basis, w, 0)
+	return nf
+}
+
+// ReduceBounded is Reduce with an optional bound on intermediate
+// coefficient size: if maxBits > 0 and the working coefficients exceed it
+// even after content stripping, the reduction aborts and returns ok=false.
+// Parallel Buchberger uses this to postpone pairs whose reduction against
+// an immature basis would suffer catastrophic coefficient swell; retried
+// later, against more of the basis, they almost always collapse cheaply.
+func ReduceBounded(p *Poly, basis []*Poly, w *Meter, maxBits int) (nf *Poly, ok bool) {
+	work := p.Copy()
+	var done []Term
+	steps := 0
+	for !work.IsZero() {
+		// Fraction-free reduction scales the whole polynomial at each
+		// step, so coefficients can snowball along long chains; strip
+		// common content periodically to keep arithmetic bounded.
+		steps++
+		if steps%4 == 0 && work.LT().Coef.BitLen() > 64 {
+			stripJointContent(work.Terms, done, w)
+			if maxBits > 0 && work.LT().Coef.BitLen() > maxBits {
+				return nil, false
+			}
+		}
+		lt := work.LT()
+		reduced := false
+		for _, g := range basis {
+			if g == nil || g.IsZero() || !g.LM().Divides(lt.M) {
+				continue
+			}
+			lg := g.LT()
+			gcd := new(big.Int).GCD(nil, nil, lt.Coef, lg.Coef)
+			scale := new(big.Int).Quo(lg.Coef, gcd)
+			mult := new(big.Int).Quo(lt.Coef, gcd)
+			if scale.Sign() < 0 {
+				scale.Neg(scale)
+				mult.Neg(mult)
+			}
+			if scale.Cmp(big.NewInt(1)) != 0 {
+				for i := range work.Terms {
+					work.Terms[i].Coef.Mul(work.Terms[i].Coef, scale)
+					if w != nil {
+						w.charge(work.Terms[i].Coef, scale)
+					}
+				}
+				for i := range done {
+					done[i].Coef.Mul(done[i].Coef, scale)
+					if w != nil {
+						w.charge(done[i].Coef, scale)
+					}
+				}
+			}
+			work = work.sub(g.mulTerm(mult, g.LM().DivInto(lt.M), w), w)
+			reduced = true
+			break
+		}
+		if !reduced {
+			done = append(done, work.Terms[0])
+			work.Terms = work.Terms[1:]
+		}
+	}
+	res := &Poly{Terms: done}
+	res.Normalize(w)
+	return res, true
+}
+
+// stripJointContent divides every coefficient of the working polynomial
+// and the already-extracted result tail by their common content (they
+// are logically one polynomial, so both must be scaled together).
+func stripJointContent(work, done []Term, w *Meter) {
+	one := big.NewInt(1)
+	var g *big.Int
+	for _, lists := range [][]Term{work, done} {
+		for _, t := range lists {
+			if g == nil {
+				g = new(big.Int).Abs(t.Coef)
+				continue
+			}
+			if g.Cmp(one) == 0 {
+				return
+			}
+			g.GCD(nil, nil, g, new(big.Int).Abs(t.Coef))
+			if w != nil {
+				w.charge(g, t.Coef)
+			}
+		}
+	}
+	if g == nil || g.Cmp(one) == 0 {
+		return
+	}
+	for _, lists := range [][]Term{work, done} {
+		for i := range lists {
+			lists[i].Coef.Quo(lists[i].Coef, g)
+			if w != nil {
+				w.charge(lists[i].Coef, g)
+			}
+		}
+	}
+}
+
+// --- SAM item adapter ---
+
+// Item wraps a polynomial as a SAM data item; its packed size reflects
+// the arbitrary-precision coefficients.
+type Item struct{ P *Poly }
+
+// SizeBytes implements pack.Item.
+func (it Item) SizeBytes() int {
+	n := 16
+	for _, t := range it.P.Terms {
+		n += MaxVars + 8 + (t.Coef.BitLen()+7)/8
+	}
+	return n
+}
+
+// Clone implements pack.Item.
+func (it Item) Clone() pack.Item { return Item{P: it.P.Copy()} }
+
+var _ pack.Item = Item{}

@@ -1,0 +1,262 @@
+package grobner
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrevlexOrder(t *testing.T) {
+	// x^2 > xy > y^2 > x > y > 1 in grevlex with x=x0, y=x1.
+	x2 := MonoOf(2, 0)
+	xy := MonoOf(1, 1)
+	y2 := MonoOf(0, 2)
+	x := MonoOf(1, 0)
+	y := MonoOf(0, 1)
+	one := MonoOf(0, 0)
+	seq := []Mono{x2, xy, y2, x, y, one}
+	for i := 0; i < len(seq)-1; i++ {
+		if seq[i].Compare(seq[i+1]) <= 0 {
+			t.Errorf("element %d not greater than %d", i, i+1)
+		}
+	}
+	if x.Compare(x) != 0 {
+		t.Error("self-compare not zero")
+	}
+}
+
+func TestMonoAlgebra(t *testing.T) {
+	a := MonoOf(2, 1, 0)
+	b := MonoOf(1, 0, 3)
+	ab := a.Mul(b)
+	if ab != MonoOf(3, 1, 3) {
+		t.Errorf("Mul wrong: %v", ab)
+	}
+	if !a.Divides(ab) || !b.Divides(ab) {
+		t.Error("factors must divide product")
+	}
+	if a.Divides(b) {
+		t.Error("a should not divide b")
+	}
+	if q := a.DivInto(ab); q != b {
+		t.Errorf("DivInto wrong: %v", q)
+	}
+	if l := a.LCM(b); l != MonoOf(2, 1, 3) {
+		t.Errorf("LCM wrong: %v", l)
+	}
+}
+
+func TestMonoOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randMono := func() Mono {
+		e := make([]int, 4)
+		for i := range e {
+			e[i] = rng.Intn(4)
+		}
+		return MonoOf(e...)
+	}
+	// Property: compatible with multiplication (a>b => ac>bc), total,
+	// antisymmetric.
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := randMono(), randMono(), randMono()
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatal("order not antisymmetric")
+		}
+		if a.Compare(b) > 0 && a.Mul(c).Compare(b.Mul(c)) <= 0 {
+			t.Fatal("order not multiplication-compatible")
+		}
+		if one := MonoOf(0, 0, 0, 0); a.Deg > 0 && a.Compare(one) <= 0 {
+			t.Fatal("monomials must exceed 1")
+		}
+	}
+}
+
+func TestNewPolyCombinesAndSorts(t *testing.T) {
+	p := NewPoly([]Term{
+		term(3, 1, 0),
+		term(2, 0, 1),
+		term(-3, 1, 0), // cancels the first
+		term(5, 2, 0),
+	})
+	if len(p.Terms) != 2 {
+		t.Fatalf("got %d terms, want 2", len(p.Terms))
+	}
+	if p.LM() != MonoOf(2, 0) {
+		t.Errorf("leading monomial %v", p.LM())
+	}
+}
+
+func TestSubExact(t *testing.T) {
+	p := NewPoly([]Term{term(2, 1, 0), term(1, 0, 0)})
+	q := NewPoly([]Term{term(2, 1, 0), term(-4, 0, 1)})
+	d := p.sub(q, nil)
+	// d = 4y + 1.
+	if len(d.Terms) != 2 || d.Terms[0].Coef.Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("sub wrong: %+v", d.Terms)
+	}
+}
+
+func TestNormalizeMakesPrimitive(t *testing.T) {
+	p := NewPoly([]Term{term(-6, 1, 0), term(-9, 0, 0)})
+	p.Normalize(nil)
+	if p.Terms[0].Coef.Cmp(big.NewInt(2)) != 0 || p.Terms[1].Coef.Cmp(big.NewInt(3)) != 0 {
+		t.Errorf("normalize wrong: %+v %+v", p.Terms[0].Coef, p.Terms[1].Coef)
+	}
+}
+
+func TestSPolyCancelsLeadingTerms(t *testing.T) {
+	f := NewPoly([]Term{term(3, 2, 0), term(1, 0, 0)}) // 3x^2+1
+	g := NewPoly([]Term{term(2, 1, 1), term(5, 0, 0)}) // 2xy+5
+	s := SPoly(f, g, nil)
+	lcm := f.LM().LCM(g.LM())
+	if !s.IsZero() && s.LM().Compare(lcm) >= 0 {
+		t.Errorf("S-polynomial leading monomial %v not below lcm %v", s.LM(), lcm)
+	}
+}
+
+func TestSPolyProperty(t *testing.T) {
+	// Property: the S-polynomial's leading monomial is strictly below the
+	// lcm of the inputs' leading monomials.
+	rng := rand.New(rand.NewSource(9))
+	randPoly := func() *Poly {
+		nt := rng.Intn(4) + 1
+		var ts []Term
+		for i := 0; i < nt; i++ {
+			e := make([]int, 3)
+			for d := range e {
+				e[d] = rng.Intn(3)
+			}
+			c := int64(rng.Intn(9) - 4)
+			if c == 0 {
+				c = 1
+			}
+			ts = append(ts, term(c, e...))
+		}
+		return NewPoly(ts)
+	}
+	for trial := 0; trial < 300; trial++ {
+		f, g := randPoly(), randPoly()
+		if f.IsZero() || g.IsZero() {
+			continue
+		}
+		s := SPoly(f, g, nil)
+		if s.IsZero() {
+			continue
+		}
+		if s.LM().Compare(f.LM().LCM(g.LM())) >= 0 {
+			t.Fatalf("S-poly LM not reduced: f=%v g=%v", f, g)
+		}
+	}
+}
+
+func TestReduceToZeroAgainstSelf(t *testing.T) {
+	f := NewPoly([]Term{term(3, 2, 1), term(-2, 1, 0), term(7, 0, 0)})
+	if nf := Reduce(f, []*Poly{f}, nil); !nf.IsZero() {
+		t.Errorf("f mod {f} = %+v, want 0", nf.Terms)
+	}
+}
+
+func TestReduceIrreducibleUnchangedUpToScale(t *testing.T) {
+	f := NewPoly([]Term{term(1, 0, 2), term(1, 0, 0)}) // y^2+1
+	g := NewPoly([]Term{term(1, 3, 0)})                // x^3
+	nf := Reduce(f, []*Poly{g}, nil)
+	if !nf.Equal(f) {
+		t.Errorf("irreducible polynomial changed: %+v", nf.Terms)
+	}
+}
+
+func TestReducePropertyNoLeadingDivisor(t *testing.T) {
+	// Property: no leading monomial of the basis divides any monomial of
+	// the normal form.
+	rng := rand.New(rand.NewSource(3))
+	randPoly := func(maxExp int) *Poly {
+		nt := rng.Intn(5) + 1
+		var ts []Term
+		for i := 0; i < nt; i++ {
+			e := make([]int, 3)
+			for d := range e {
+				e[d] = rng.Intn(maxExp)
+			}
+			c := int64(rng.Intn(11) - 5)
+			if c == 0 {
+				c = 2
+			}
+			ts = append(ts, term(c, e...))
+		}
+		return NewPoly(ts)
+	}
+	for trial := 0; trial < 150; trial++ {
+		f := randPoly(4)
+		var basis []*Poly
+		for k := 0; k < 2; k++ {
+			if g := randPoly(3); !g.IsZero() {
+				basis = append(basis, g)
+			}
+		}
+		if f.IsZero() || len(basis) == 0 {
+			continue
+		}
+		nf := Reduce(f, basis, nil)
+		for _, t2 := range nf.Terms {
+			for _, g := range basis {
+				if g.LM().Divides(t2.M) {
+					t.Fatalf("normal form still reducible: %+v by %+v", t2.M, g.LM())
+				}
+			}
+		}
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	var w Meter
+	f := NewPoly([]Term{term(3, 2, 0), term(1, 0, 0)})
+	g := NewPoly([]Term{term(2, 1, 1), term(5, 0, 0)})
+	SPoly(f, g, &w)
+	if w.Ops == 0 {
+		t.Error("meter did not accumulate work")
+	}
+}
+
+func TestItemCloneIsolated(t *testing.T) {
+	f := NewPoly([]Term{term(3, 2, 0), term(1, 0, 0)})
+	it := Item{P: f}
+	cp := it.Clone().(Item)
+	cp.P.Terms[0].Coef.SetInt64(999)
+	if f.Terms[0].Coef.Cmp(big.NewInt(3)) != 0 {
+		t.Error("Item clone shares coefficients")
+	}
+	if it.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestPolyStringIn(t *testing.T) {
+	r := NewRing(2, "x", "y")
+	p := NewPoly([]Term{term(1, 2, 0), term(-3, 0, 1), term(1, 0, 0)})
+	s := p.StringIn(r)
+	if s != "x^2 - 3y + 1" {
+		t.Errorf("String = %q", s)
+	}
+	if (&Poly{}).StringIn(r) != "0" {
+		t.Error("zero polynomial should print as 0")
+	}
+}
+
+func TestQuickCheckSubAddInverse(t *testing.T) {
+	// Property: p - p = 0 for random polynomials.
+	f := func(raw [6]int8) bool {
+		var ts []Term
+		for i, c := range raw {
+			if c == 0 {
+				continue
+			}
+			ts = append(ts, term(int64(c), i%3, i/3))
+		}
+		p := NewPoly(ts)
+		return p.sub(p, nil).IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

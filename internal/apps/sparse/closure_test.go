@@ -1,0 +1,35 @@
+package sparse
+
+import "testing"
+
+func TestScalarClosure(t *testing.T) {
+	m := Grid3D(4, 4, 4)
+	f := SymbolicFactor(m)
+	in := func(j int, i int32) bool {
+		for _, r := range f.Struct[j] {
+			if r == i {
+				return true
+			}
+		}
+		return false
+	}
+	bad := 0
+	for k := 0; k < m.N && bad < 5; k++ {
+		s := f.Struct[k]
+		for a := 0; a < len(s); a++ {
+			for b := a + 1; b < len(s); b++ {
+				j, i := s[a], s[b]
+				if !in(int(j), i) {
+					t.Errorf("closure violated: i=%d,j=%d in struct(%d) but L(%d,%d) missing", i, j, k, i, j)
+					bad++
+					if bad >= 5 {
+						break
+					}
+				}
+			}
+			if bad >= 5 {
+				break
+			}
+		}
+	}
+}

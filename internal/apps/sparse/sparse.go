@@ -1,0 +1,276 @@
+// Package sparse provides the sparse symmetric matrix machinery the block
+// Cholesky application factors: generators for symmetric positive definite
+// test matrices (grid problems with nested-dissection ordering standing in
+// for the Harwell–Boeing BCSSTK15 matrix, and dense matrices standing in
+// for D1000), scalar symbolic factorization (elimination tree and fill),
+// and the block partitioning of the filled structure used to assign work.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Matrix is a sparse symmetric positive definite matrix stored as its
+// lower triangle in compressed sparse column form. Row indices within a
+// column are sorted ascending and include the diagonal.
+type Matrix struct {
+	N       int
+	ColPtr  []int32
+	RowIdx  []int32
+	Values  []float64
+	Name    string
+	Stencil string
+}
+
+// NNZ returns the number of stored (lower-triangle) nonzeros.
+func (m *Matrix) NNZ() int { return len(m.RowIdx) }
+
+// At returns the (i,j) entry with i >= j (lower triangle).
+func (m *Matrix) At(i, j int) float64 {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	k := lo + int32(sort.Search(int(hi-lo), func(k int) bool {
+		return m.RowIdx[lo+int32(k)] >= int32(i)
+	}))
+	if k < hi && m.RowIdx[k] == int32(i) {
+		return m.Values[k]
+	}
+	return 0
+}
+
+// Full materializes the full dense matrix (for verification on small
+// problems only).
+func (m *Matrix) Full() [][]float64 {
+	a := make([][]float64, m.N)
+	for i := range a {
+		a[i] = make([]float64, m.N)
+	}
+	for j := 0; j < m.N; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			i := m.RowIdx[k]
+			a[i][j] = m.Values[k]
+			a[j][i] = m.Values[k]
+		}
+	}
+	return a
+}
+
+// builder assembles a symmetric matrix from (i, j, v) triples.
+type builder struct {
+	n    int
+	cols []map[int32]float64
+}
+
+func newBuilder(n int) *builder {
+	b := &builder{n: n, cols: make([]map[int32]float64, n)}
+	for i := range b.cols {
+		b.cols[i] = make(map[int32]float64)
+	}
+	return b
+}
+
+// add accumulates v into entry (i, j), folding into the lower triangle.
+func (b *builder) add(i, j int, v float64) {
+	if i < j {
+		i, j = j, i
+	}
+	b.cols[j][int32(i)] += v
+}
+
+func (b *builder) build(name, stencil string) *Matrix {
+	m := &Matrix{N: b.n, Name: name, Stencil: stencil}
+	m.ColPtr = make([]int32, b.n+1)
+	nnz := 0
+	for _, c := range b.cols {
+		nnz += len(c)
+	}
+	m.RowIdx = make([]int32, 0, nnz)
+	m.Values = make([]float64, 0, nnz)
+	for j := 0; j < b.n; j++ {
+		rows := make([]int32, 0, len(b.cols[j]))
+		for i := range b.cols[j] {
+			rows = append(rows, i)
+		}
+		sort.Slice(rows, func(a, c int) bool { return rows[a] < rows[c] })
+		for _, i := range rows {
+			m.RowIdx = append(m.RowIdx, i)
+			m.Values = append(m.Values, b.cols[j][i])
+		}
+		m.ColPtr[j+1] = int32(len(m.RowIdx))
+	}
+	return m
+}
+
+// Grid2D builds the 5-point Laplacian of an nx-by-ny grid, ordered by
+// geometric nested dissection, with the diagonal boosted to make the
+// matrix strictly diagonally dominant (hence SPD).
+func Grid2D(nx, ny int) *Matrix {
+	return grid(nx, ny, 1, fmt.Sprintf("grid2d-%dx%d", nx, ny), "5-point")
+}
+
+// Grid3D builds the 7-point Laplacian of an nx-by-ny-by-nz grid with
+// nested dissection ordering. Grid3D(16,16,16) is the BCSSTK15-class
+// problem used by the experiments (n=4096 vs. the paper's n=3948).
+func Grid3D(nx, ny, nz int) *Matrix {
+	return grid(nx, ny, nz, fmt.Sprintf("grid3d-%dx%dx%d", nx, ny, nz), "7-point")
+}
+
+// Grid3DStiff builds a structural-stiffness-like SPD matrix: a 3-D grid
+// with dof unknowns per grid point and full dof-by-dof coupling between
+// neighboring points (and within a point). Grid3DStiff(11,11,11,3) has
+// n=3993 and ~25 nonzeros per row — the BCSSTK15 class (n=3948, ~30/row)
+// the paper factors, with the dense supernodes real stiffness matrices
+// exhibit. Nested dissection orders grid points; a point's dof stay
+// consecutive.
+func Grid3DStiff(nx, ny, nz, dof int) *Matrix {
+	points := nx * ny * nz
+	n := points * dof
+	perm := NestedDissection(nx, ny, nz)
+	id := func(x, y, z, d int) int { return perm[(z*ny+y)*nx+x]*dof + d }
+	b := newBuilder(n)
+	couple := func(x1, y1, z1, x2, y2, z2 int) {
+		for d1 := 0; d1 < dof; d1++ {
+			for d2 := 0; d2 < dof; d2++ {
+				i, j := id(x1, y1, z1, d1), id(x2, y2, z2, d2)
+				if i > j {
+					b.add(i, j, -1)
+				} else if i < j {
+					b.add(j, i, -1)
+				}
+			}
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				// Intra-point coupling between dof.
+				couple(x, y, z, x, y, z)
+				if x+1 < nx {
+					couple(x, y, z, x+1, y, z)
+				}
+				if y+1 < ny {
+					couple(x, y, z, x, y+1, z)
+				}
+				if z+1 < nz {
+					couple(x, y, z, x, y, z+1)
+				}
+			}
+		}
+	}
+	// Strict diagonal dominance: diag exceeds the row's off-diagonal mass
+	// (each point couples with at most 6 neighbors plus itself).
+	diag := float64((6+1)*dof) + 1
+	for i := 0; i < n; i++ {
+		b.add(i, i, diag)
+	}
+	return b.build(fmt.Sprintf("stiff3d-%dx%dx%dx%d", nx, ny, nz, dof), "stiffness")
+}
+
+func grid(nx, ny, nz int, name, stencil string) *Matrix {
+	n := nx * ny * nz
+	perm := NestedDissection(nx, ny, nz)
+	id := func(x, y, z int) int { return perm[(z*ny+y)*nx+x] }
+	b := newBuilder(n)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				me := id(x, y, z)
+				b.add(me, me, 6.5) // strictly dominant over <=6 neighbors
+				if x+1 < nx {
+					b.add(me, id(x+1, y, z), -1)
+				}
+				if y+1 < ny {
+					b.add(me, id(x, y+1, z), -1)
+				}
+				if z+1 < nz {
+					b.add(me, id(x, y, z+1), -1)
+				}
+			}
+		}
+	}
+	return b.build(name, stencil)
+}
+
+// NestedDissection returns a permutation (old index -> new index) from
+// geometric nested dissection of an nx-by-ny-by-nz grid: each recursion
+// splits the longest axis, numbering the separator plane last. This is
+// the fill-reducing ordering regime the paper's BCSSTK15 runs used.
+func NestedDissection(nx, ny, nz int) []int {
+	n := nx * ny * nz
+	perm := make([]int, n)
+	next := 0
+	var rec func(x0, x1, y0, y1, z0, z1 int)
+	assign := func(x, y, z int) {
+		perm[(z*ny+y)*nx+x] = next
+		next++
+	}
+	rec = func(x0, x1, y0, y1, z0, z1 int) {
+		dx, dy, dz := x1-x0, y1-y0, z1-z0
+		if dx <= 0 || dy <= 0 || dz <= 0 {
+			return
+		}
+		if dx <= 2 && dy <= 2 && dz <= 2 {
+			for z := z0; z < z1; z++ {
+				for y := y0; y < y1; y++ {
+					for x := x0; x < x1; x++ {
+						assign(x, y, z)
+					}
+				}
+			}
+			return
+		}
+		switch {
+		case dx >= dy && dx >= dz:
+			mid := (x0 + x1) / 2
+			rec(x0, mid, y0, y1, z0, z1)
+			rec(mid+1, x1, y0, y1, z0, z1)
+			for z := z0; z < z1; z++ {
+				for y := y0; y < y1; y++ {
+					assign(mid, y, z)
+				}
+			}
+		case dy >= dz:
+			mid := (y0 + y1) / 2
+			rec(x0, x1, y0, mid, z0, z1)
+			rec(x0, x1, mid+1, y1, z0, z1)
+			for z := z0; z < z1; z++ {
+				for x := x0; x < x1; x++ {
+					assign(x, mid, z)
+				}
+			}
+		default:
+			mid := (z0 + z1) / 2
+			rec(x0, x1, y0, y1, z0, mid)
+			rec(x0, x1, y0, y1, mid+1, z1)
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					assign(x, y, mid)
+				}
+			}
+		}
+	}
+	rec(0, nx, 0, ny, 0, nz)
+	if next != n {
+		panic("sparse: nested dissection did not number every node")
+	}
+	return perm
+}
+
+// Dense builds a dense SPD matrix of order n with pseudo-random entries
+// (the paper's D1000 benchmark class). The result is reproducible for a
+// given seed.
+func Dense(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if i == j {
+				b.add(i, j, float64(n)+1+rng.Float64())
+			} else {
+				b.add(i, j, rng.Float64()-0.5)
+			}
+		}
+	}
+	return b.build(fmt.Sprintf("D%d", n), "dense")
+}

@@ -1,0 +1,295 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid2DStructure(t *testing.T) {
+	m := Grid2D(4, 4)
+	if m.N != 16 {
+		t.Fatalf("N = %d, want 16", m.N)
+	}
+	// 5-point stencil: 16 diagonal + 2*4*3 = 24 off-diagonal edges.
+	if m.NNZ() != 16+24 {
+		t.Errorf("NNZ = %d, want 40", m.NNZ())
+	}
+	// Symmetric access via At.
+	full := m.Full()
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if full[i][j] != full[j][i] {
+				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+		rowSum := 0.0
+		for j := 0; j < m.N; j++ {
+			if j != i {
+				rowSum += abs(full[i][j])
+			}
+		}
+		if full[i][i] <= rowSum {
+			t.Fatalf("row %d not strictly diagonally dominant", i)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestNestedDissectionIsPermutation(t *testing.T) {
+	f := func(dims [3]uint8) bool {
+		nx := int(dims[0]%6) + 1
+		ny := int(dims[1]%6) + 1
+		nz := int(dims[2]%4) + 1
+		perm := NestedDissection(nx, ny, nz)
+		seen := make([]bool, len(perm))
+		for _, p := range perm {
+			if p < 0 || p >= len(perm) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEliminationTreeChain(t *testing.T) {
+	// A tridiagonal matrix has the chain elimination tree.
+	b := newBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.add(i, i, 4)
+		if i+1 < 5 {
+			b.add(i+1, i, -1)
+		}
+	}
+	m := b.build("tri", "tri")
+	parent := EliminationTree(m)
+	for j := 0; j < 4; j++ {
+		if parent[j] != int32(j+1) {
+			t.Errorf("parent[%d] = %d, want %d", j, parent[j], j+1)
+		}
+	}
+	if parent[4] != -1 {
+		t.Errorf("root parent = %d, want -1", parent[4])
+	}
+}
+
+func TestSymbolicFillIsSupersetOfA(t *testing.T) {
+	m := Grid2D(5, 5)
+	f := SymbolicFactor(m)
+	for j := 0; j < m.N; j++ {
+		have := map[int32]bool{}
+		for _, i := range f.Struct[j] {
+			have[i] = true
+		}
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowIdx[p]
+			if int(i) != j && !have[i] {
+				t.Fatalf("fill misses original entry (%d,%d)", i, j)
+			}
+		}
+	}
+	if f.NNZ() < m.NNZ() {
+		t.Error("fill smaller than original matrix")
+	}
+}
+
+func TestSymbolicFillMatchesDenseFactor(t *testing.T) {
+	// Numeric factorization must not produce nonzeros outside the
+	// predicted fill (exactness of the symbolic computation).
+	m := Grid2D(4, 3)
+	f := SymbolicFactor(m)
+	full := m.Full()
+	n := m.N
+	// Dense factorization.
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = append([]float64{}, full[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			for i := j; i < n; i++ {
+				l[i][j] -= l[i][k] * l[j][k] / l[k][k] * l[k][k]
+			}
+		}
+	}
+	// Simpler: recompute with the textbook update that preserves zeros.
+	l = make([][]float64, n)
+	for i := range l {
+		l[i] = append([]float64{}, full[i]...)
+	}
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			if l[j][k] == 0 {
+				continue
+			}
+			for i := j; i < n; i++ {
+				l[i][j] -= l[i][k] * l[j][k] / l[k][k]
+			}
+		}
+	}
+	inFill := func(i, j int) bool {
+		if i == j {
+			return true
+		}
+		for _, r := range f.Struct[j] {
+			if int(r) == i {
+				return true
+			}
+		}
+		return false
+	}
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			if l[i][j] != 0 && !inFill(i, j) {
+				t.Fatalf("numeric nonzero (%d,%d) outside symbolic fill", i, j)
+			}
+		}
+	}
+}
+
+func TestUpdatesTargetPresentBlocks(t *testing.T) {
+	// Every enumerated update must write to a stored block, and skipped
+	// pairs must have a provably-zero product: no scalar column k has
+	// entries in both block rows.
+	m := Grid3D(4, 4, 4)
+	f := SymbolicFactor(m)
+	bl := NewBlocks(f, 8)
+	for _, u := range bl.Updates() {
+		if !bl.Has(int(u.I), int(u.J)) {
+			t.Fatalf("update writes to absent block (%d,%d)", u.I, u.J)
+		}
+	}
+	// Verify skipped pairs are truly zero by scalar analysis.
+	inBlockRow := func(scalarRows []int32, blockRow int32) bool {
+		for _, r := range scalarRows {
+			if r/int32(bl.B) == blockRow {
+				return true
+			}
+		}
+		return false
+	}
+	for k := 0; k < bl.NB; k++ {
+		rows := bl.Rows[k][1:]
+		for a := 0; a < len(rows); a++ {
+			for c := a; c < len(rows); c++ {
+				if bl.Has(int(rows[c]), int(rows[a])) {
+					continue
+				}
+				// Skipped: no scalar column in block column k may hit
+				// both block rows.
+				for col := k * bl.B; col < (k+1)*bl.B && col < m.N; col++ {
+					if inBlockRow(f.Struct[col], rows[a]) && inBlockRow(f.Struct[col], rows[c]) {
+						t.Fatalf("skipped update (%d,%d,k=%d) has nonzero contribution via column %d",
+							rows[c], rows[a], k, col)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksDims(t *testing.T) {
+	m := Grid2D(5, 2) // n=10
+	f := SymbolicFactor(m)
+	bl := NewBlocks(f, 4)
+	if bl.NB != 3 {
+		t.Fatalf("NB = %d, want 3", bl.NB)
+	}
+	if bl.Dim(0) != 4 || bl.Dim(2) != 2 {
+		t.Errorf("dims = %d,%d want 4,2", bl.Dim(0), bl.Dim(2))
+	}
+}
+
+func TestUpdateCountsMatchUpdates(t *testing.T) {
+	m := Grid2D(6, 6)
+	f := SymbolicFactor(m)
+	bl := NewBlocks(f, 4)
+	total := 0
+	for _, c := range bl.UpdateCounts() {
+		total += c
+	}
+	if total != len(bl.Updates()) {
+		t.Errorf("counts sum %d != updates %d", total, len(bl.Updates()))
+	}
+}
+
+func TestBlockKernelsAgainstDense(t *testing.T) {
+	// BlockFactor+BlockSolve on a 2-block dense SPD matrix must equal the
+	// dense factorization.
+	n, b := 8, 4
+	m := Dense(n, 42)
+	full := m.Full()
+	// Reference dense factor.
+	ref := make([][]float64, n)
+	for i := range ref {
+		ref[i] = append([]float64{}, full[i]...)
+	}
+	for j := 0; j < n; j++ {
+		d := ref[j][j]
+		for k := 0; k < j; k++ {
+			d -= ref[j][k] * ref[j][k]
+		}
+		ref[j][j] = sqrtT(d)
+		for i := j + 1; i < n; i++ {
+			v := ref[i][j]
+			for k := 0; k < j; k++ {
+				v -= ref[i][k] * ref[j][k]
+			}
+			ref[i][j] = v / ref[j][j]
+		}
+	}
+	f := SymbolicFactor(m)
+	bl := NewBlocks(f, b)
+	// Manual block factorization: L00, L10, then L11.
+	a00 := bl.ExtractBlock(m, 0, 0)
+	a10 := bl.ExtractBlock(m, 1, 0)
+	a11 := bl.ExtractBlock(m, 1, 1)
+	BlockFactor(a00, b)
+	BlockSolve(a10, a00, b, b)
+	BlockMulSub(a11, a10, a10, b, b, b)
+	BlockFactor(a11, b)
+	check := func(blk []float64, r0, c0 int) {
+		for j := 0; j < b; j++ {
+			for i := 0; i < b; i++ {
+				gi, gj := r0+i, c0+j
+				if gi < gj {
+					continue
+				}
+				got := blk[j*b+i]
+				want := ref[gi][gj]
+				if d := got - want; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("block entry (%d,%d) = %g, want %g", gi, gj, got, want)
+				}
+			}
+		}
+	}
+	check(a00, 0, 0)
+	check(a10, b, 0)
+	check(a11, b, b)
+}
+
+func sqrtT(x float64) float64 {
+	z := x
+	for i := 0; i < 60; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+func TestDenseMatrixReproducible(t *testing.T) {
+	a, b := Dense(10, 7), Dense(10, 7)
+	for k := range a.Values {
+		if a.Values[k] != b.Values[k] {
+			t.Fatal("Dense not reproducible for same seed")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+
+	"samsys/internal/sim"
+)
+
+// itemKind distinguishes the two kinds of shared data.
+type itemKind uint8
+
+const (
+	kindValue itemKind = iota
+	kindAccum
+)
+
+func (k itemKind) String() string {
+	if k == kindValue {
+		return "value"
+	}
+	return "accum"
+}
+
+// entry is one data item (or copy of one) in a node's local memory.
+type entry struct {
+	name Name
+	kind itemKind
+	item Item
+	size int
+
+	owner       bool // authoritative copy: value creator / current accum holder
+	creating    bool // value being filled in between BeginCreate and EndCreate
+	stale       bool // accumulator snapshot left behind after migration
+	busy        bool // accumulator currently inside Begin/EndUpdate locally
+	reserved    bool // accumulator arrived for a local acquirer not yet resumed
+	dropOnUnpin bool // reclaim as soon as the last pin is released
+
+	declaredUses int64 // value: uses declared at creation (owner copy only)
+
+	pins    int           // active uses pinning the copy in memory
+	hasNext bool          // accumulator: a successor is waiting
+	next    int           // accumulator: successor node
+	version int64         // accumulator: committed update count
+	fetched sim.Time      // accumulator: when this copy was last known current
+	lruElem *list.Element // non-nil iff entry is evictable (in the LRU list)
+}
+
+func (e *entry) evictable() bool {
+	return !e.owner && !e.creating && !e.busy && !e.reserved && e.pins == 0
+}
+
+// cache is a node's local store of data items: owned items plus an LRU
+// cache of copies fetched from remote processors.
+type cache struct {
+	entries map[Name]*entry
+	lru     *list.List // front = least recently used; evictable entries only
+	used    int64      // bytes across all entries
+	cap     int64      // eviction threshold (owned/pinned bytes may exceed it)
+	evicted int64      // eviction count (for tests and reporting)
+}
+
+func newCache(capBytes int64) *cache {
+	return &cache{entries: make(map[Name]*entry), lru: list.New(), cap: capBytes}
+}
+
+// lookup returns the entry for name, if present, without touching LRU order.
+func (c *cache) lookup(name Name) *entry { return c.entries[name] }
+
+// touch moves an evictable entry to the MRU position.
+func (c *cache) touch(e *entry) {
+	if e.lruElem != nil {
+		c.lru.MoveToBack(e.lruElem)
+	}
+}
+
+// insert adds a new entry and evicts LRU copies if over capacity.
+// Inserting over an existing name is a protocol error.
+func (c *cache) insert(e *entry) {
+	if _, dup := c.entries[e.name]; dup {
+		panic(fmt.Sprintf("sam: duplicate cache entry for %v", e.name))
+	}
+	c.entries[e.name] = e
+	c.used += int64(e.size)
+	c.reindex(e)
+	c.evict()
+}
+
+// reindex places the entry in or out of the LRU list according to its
+// current evictability. Call after changing pins/owner/busy state.
+func (c *cache) reindex(e *entry) {
+	if e.evictable() {
+		if e.lruElem == nil {
+			e.lruElem = c.lru.PushBack(e)
+		}
+	} else if e.lruElem != nil {
+		c.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+}
+
+// remove deletes an entry outright.
+func (c *cache) remove(e *entry) {
+	if e.lruElem != nil {
+		c.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	if _, ok := c.entries[e.name]; !ok {
+		return
+	}
+	delete(c.entries, e.name)
+	c.used -= int64(e.size)
+}
+
+// evict drops least-recently-used evictable copies until under capacity.
+func (c *cache) evict() {
+	for c.used > c.cap {
+		front := c.lru.Front()
+		if front == nil {
+			return // everything left is owned or in use; allow overflow
+		}
+		e := front.Value.(*entry)
+		c.remove(e)
+		c.evicted++
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"samsys/internal/pack"
+)
+
+func mkEntry(name Name, size int) *entry {
+	return &entry{name: name, kind: kindValue, item: make(pack.Bytes, size), size: size}
+}
+
+func TestCacheInsertLookupRemove(t *testing.T) {
+	c := newCache(1000)
+	e := mkEntry(N1(9, 1), 100)
+	c.insert(e)
+	if c.lookup(N1(9, 1)) != e {
+		t.Fatal("lookup after insert failed")
+	}
+	if c.used != 100 {
+		t.Errorf("used = %d, want 100", c.used)
+	}
+	c.remove(e)
+	if c.lookup(N1(9, 1)) != nil {
+		t.Error("entry still present after remove")
+	}
+	if c.used != 0 {
+		t.Errorf("used = %d after remove, want 0", c.used)
+	}
+}
+
+func TestCacheDuplicateInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert should panic")
+		}
+	}()
+	c := newCache(1000)
+	c.insert(mkEntry(N1(9, 2), 10))
+	c.insert(mkEntry(N1(9, 2), 10))
+}
+
+func TestCacheEvictsLRUFirst(t *testing.T) {
+	c := newCache(250)
+	a := mkEntry(N1(9, 10), 100)
+	b := mkEntry(N1(9, 11), 100)
+	c.insert(a)
+	c.insert(b)
+	// Touch a so b is least recently used.
+	c.touch(a)
+	c.insert(mkEntry(N1(9, 12), 100)) // forces one eviction
+	if c.lookup(N1(9, 11)) != nil {
+		t.Error("LRU entry b should have been evicted")
+	}
+	if c.lookup(N1(9, 10)) == nil {
+		t.Error("recently used entry a should survive")
+	}
+	if c.evicted != 1 {
+		t.Errorf("evicted = %d, want 1", c.evicted)
+	}
+}
+
+func TestCacheNeverEvictsOwnerOrPinned(t *testing.T) {
+	c := newCache(150)
+	owner := mkEntry(N1(9, 20), 100)
+	owner.owner = true
+	pinned := mkEntry(N1(9, 21), 100)
+	pinned.pins = 1
+	c.insert(owner)
+	c.insert(pinned)
+	c.insert(mkEntry(N1(9, 22), 100)) // way over capacity
+	if c.lookup(N1(9, 20)) == nil {
+		t.Error("owner copy evicted")
+	}
+	if c.lookup(N1(9, 21)) == nil {
+		t.Error("pinned copy evicted")
+	}
+}
+
+func TestCacheReindexAfterUnpin(t *testing.T) {
+	c := newCache(100)
+	e := mkEntry(N1(9, 30), 80)
+	e.pins = 1
+	c.insert(e)
+	if e.lruElem != nil {
+		t.Error("pinned entry must not be in LRU")
+	}
+	e.pins = 0
+	c.reindex(e)
+	if e.lruElem == nil {
+		t.Error("unpinned entry must join LRU")
+	}
+	// Now insertion pressure can evict it.
+	c.insert(mkEntry(N1(9, 31), 80))
+	if c.lookup(N1(9, 30)) != nil {
+		t.Error("unpinned entry should be evictable")
+	}
+}
+
+func TestCachePropertyUsedMatchesEntries(t *testing.T) {
+	// Property: after arbitrary insert/remove sequences, used equals the
+	// sum of present entry sizes and never goes negative.
+	f := func(ops []uint8) bool {
+		c := newCache(500)
+		present := map[Name]*entry{}
+		for i, op := range ops {
+			name := N2(9, 40, int(op%8))
+			if e, ok := present[name]; ok && op%2 == 0 {
+				c.remove(e)
+				delete(present, name)
+				continue
+			}
+			if _, ok := present[name]; ok {
+				continue
+			}
+			e := mkEntry(name, int(op%64)+1)
+			e.owner = true // keep everything resident for the check
+			c.insert(e)
+			present[name] = e
+			_ = i
+		}
+		var sum int64
+		for _, e := range present {
+			if c.lookup(e.name) != e {
+				return false
+			}
+			sum += int64(e.size)
+		}
+		return c.used == sum && c.used >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictableStateMatrix(t *testing.T) {
+	base := func() *entry { return mkEntry(N1(9, 50), 10) }
+	cases := []struct {
+		mutate func(*entry)
+		want   bool
+	}{
+		{func(e *entry) {}, true},
+		{func(e *entry) { e.owner = true }, false},
+		{func(e *entry) { e.creating = true }, false},
+		{func(e *entry) { e.busy = true }, false},
+		{func(e *entry) { e.reserved = true }, false},
+		{func(e *entry) { e.pins = 2 }, false},
+		{func(e *entry) { e.stale = true }, true}, // stale snapshots evict
+	}
+	for i, tc := range cases {
+		e := base()
+		tc.mutate(e)
+		if e.evictable() != tc.want {
+			t.Errorf("case %d: evictable = %v, want %v", i, e.evictable(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package core implements SAM, the shared object system of Scales & Lam
+// (OSDI '94): a global name space over a distributed memory machine with
+// automatic caching of shared data, synchronization tied to data access,
+// and explicit communication optimizations (push, prefetch, chaotic
+// access).
+//
+// All shared data are either values (single-assignment: created once,
+// henceforth immutable; reads wait for creation) or accumulators
+// (mutually exclusive access; the data migrates in turn to processors
+// that request it). Names are explicit and structured; each name hashes
+// to a home node that holds its directory state.
+package core
+
+import "fmt"
+
+// Name identifies a shared data item in the global name space. Names are
+// chosen by the application; the four fields typically encode a type tag
+// and up to three indices (for example block (i,j) at version v). The
+// explicit naming of values is what eliminates anti-dependences: a new
+// version of a logical datum gets a new Name.
+type Name struct {
+	Tag     uint8
+	X, Y, Z int32
+}
+
+// N1 builds a one-index name.
+func N1(tag uint8, x int) Name { return Name{Tag: tag, X: int32(x)} }
+
+// N2 builds a two-index name.
+func N2(tag uint8, x, y int) Name { return Name{Tag: tag, X: int32(x), Y: int32(y)} }
+
+// N3 builds a three-index name.
+func N3(tag uint8, x, y, z int) Name {
+	return Name{Tag: tag, X: int32(x), Y: int32(y), Z: int32(z)}
+}
+
+func (n Name) String() string {
+	return fmt.Sprintf("%d:%d.%d.%d", n.Tag, n.X, n.Y, n.Z)
+}
+
+// home returns the node holding the directory entry for this name.
+func (n Name) home(nodes int) int {
+	// FNV-1a over the four fields; cheap, deterministic, well spread.
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(n.Tag))
+	mix(uint64(uint32(n.X)))
+	mix(uint64(uint32(n.Y)))
+	mix(uint64(uint32(n.Z)))
+	return int(h % uint64(nodes))
+}

@@ -1,0 +1,50 @@
+package core
+
+import "samsys/internal/sim"
+
+// Options control runtime policies. The zero value gives the full SAM
+// system as evaluated in the paper; the ablation switches reproduce the
+// paper's Section 5 experiments.
+type Options struct {
+	// CacheBytes is the per-node capacity of the cache of remote data
+	// copies. Zero means the default (64 MB). Owned copies are never
+	// evicted; unpinned remote copies are evicted LRU-first when the
+	// cache fills.
+	CacheBytes int64
+
+	// NoCache disables dynamic caching (Section 5.1, Figure 12): every
+	// remote copy is dropped as soon as its use ends, so each access must
+	// fetch the data again from the owning processor.
+	NoCache bool
+
+	// NoPush makes PushValue a no-op (Section 5.3, Figure 14). Pushes are
+	// pure optimizations, so disabling them never changes results.
+	NoPush bool
+
+	// Invalidate disables chaotic access (Section 5.4, Figure 14): cached
+	// accumulator snapshots are invalidated whenever the accumulator is
+	// updated, so "recent value" reads always observe the latest commit,
+	// at the cost of invalidation traffic and extra fetches.
+	Invalidate bool
+
+	// ChaoticMaxAge bounds how old a cached accumulator snapshot may be
+	// and still satisfy a chaotic read locally; an older snapshot is
+	// refreshed from the current holder. Zero means unbounded (a stale
+	// copy is served forever), which suits monotonic structures like the
+	// Barnes-Hut tree; applications like the Gröbner basis set, whose
+	// redundant work grows with staleness, set a bound so "recent value"
+	// stays recent.
+	ChaoticMaxAge sim.Time
+}
+
+const defaultCacheBytes = 64 << 20
+
+// msgHeaderBytes models the fixed per-message header on the wire.
+const msgHeaderBytes = 32
+
+func (o Options) cacheBytes() int64 {
+	if o.CacheBytes <= 0 {
+		return defaultCacheBytes
+	}
+	return o.CacheBytes
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"samsys/internal/machine"
+	"samsys/internal/pack"
+)
+
+// Edge-case and adversarial protocol tests.
+
+func TestRenameAfterUsesAlreadyDrained(t *testing.T) {
+	// All DoneValue units arrive before the rename request: the home must
+	// grant immediately and the owner's storage must still be available.
+	var got int
+	runCM5(t, 2, Options{}, func(c *Ctx) {
+		old, next := N2(tagT, 30, 0), N2(tagT, 30, 1)
+		switch c.Node() {
+		case 0:
+			c.CreateValue(old, ints(7), 1)
+			c.Barrier() // consumer consumes during this window
+			c.Barrier()
+			buf := c.BeginRenameValue(old, next, 1).(pack.Ints)
+			buf[0] = 8
+			c.EndRenameValue(next)
+		case 1:
+			c.Barrier()
+			v := c.BeginUseValue(old).(pack.Ints)
+			if v[0] != 7 {
+				t.Errorf("old = %d", v[0])
+			}
+			c.EndUseValue(old)
+			c.DoneValue(old, 1)
+			c.Barrier() // drain happens before rename is requested
+			v2 := c.BeginUseValue(next).(pack.Ints)
+			got = v2[0]
+			c.EndUseValue(next)
+			c.DoneValue(next, 1)
+		}
+	})
+	if got != 8 {
+		t.Errorf("renamed value = %d, want 8", got)
+	}
+}
+
+func TestOverConsumingUsesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-consumption should be diagnosed")
+		}
+	}()
+	runCM5(t, 1, Options{}, func(c *Ctx) {
+		name := N1(tagT, 31)
+		c.CreateValue(name, ints(1), 1)
+		c.DoneValue(name, 2)
+	})
+}
+
+func TestReentrantUpdatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("reentrant accumulator update should be diagnosed")
+		}
+	}()
+	runCM5(t, 1, Options{}, func(c *Ctx) {
+		name := N1(tagA, 31)
+		c.CreateAccum(name, ints(0))
+		c.BeginUpdateAccum(name)
+		c.BeginUpdateAccum(name)
+	})
+}
+
+func TestUseValueOfAccumWaitsForConversion(t *testing.T) {
+	// A BeginUseValue issued while the name is still an accumulator must
+	// block until EndUpdateAccumToValue, not return the mutable data.
+	var sawFinal bool
+	runCM5(t, 2, Options{}, func(c *Ctx) {
+		name := N1(tagA, 32)
+		switch c.Node() {
+		case 0:
+			c.CreateAccum(name, ints(0))
+			c.Barrier()
+			c.Compute(10e6) // consumer's request arrives while accum phase
+			a := c.BeginUpdateAccum(name).(pack.Ints)
+			a[0] = 999
+			c.EndUpdateAccumToValue(name, UsesUnlimited)
+		case 1:
+			c.Barrier()
+			v := c.BeginUseValue(name).(pack.Ints)
+			sawFinal = v[0] == 999
+			c.EndUseValue(name)
+		}
+	})
+	if !sawFinal {
+		t.Error("consumer observed pre-conversion accumulator state")
+	}
+}
+
+func TestEvictedSnapshotRefetchedChaotically(t *testing.T) {
+	// A tiny cache evicts the chaotic snapshot between reads; the next
+	// read must refetch instead of failing.
+	_, fab := runWorld(t, machine.CM5, 2, Options{CacheBytes: 64}, func(c *Ctx) {
+		acc := N1(tagA, 33)
+		if c.Node() == 0 {
+			c.CreateAccum(acc, ints(5))
+		}
+		c.Barrier()
+		if c.Node() == 1 {
+			for i := 0; i < 3; i++ {
+				v := c.BeginReadChaotic(acc).(pack.Ints)
+				if v[0] != 5 {
+					t.Errorf("chaotic read = %d", v[0])
+				}
+				c.EndReadChaotic(acc)
+				// Flood the cache to evict the snapshot.
+				for k := 0; k < 4; k++ {
+					name := N3(tagT, 33, i, k)
+					c.CreateValue(name, ints(1, 2, 3, 4), UsesUnlimited)
+					c.DestroyValue(name)
+				}
+			}
+		}
+	})
+	if fab.Counters(1).RemoteAccesses < 2 {
+		t.Error("expected refetches after eviction")
+	}
+}
+
+func TestChaoticMaxAgeForcesRefresh(t *testing.T) {
+	// With a freshness bound, a read after the bound elapses sees the
+	// new committed value even in pure chaotic mode.
+	var got int
+	runWorld(t, machine.CM5, 2, Options{ChaoticMaxAge: 100 * 1000}, func(c *Ctx) { // 100µs
+		acc := N1(tagA, 34)
+		if c.Node() == 0 {
+			c.CreateAccum(acc, ints(1))
+		}
+		c.Barrier()
+		if c.Node() == 1 {
+			v := c.BeginReadChaotic(acc).(pack.Ints)
+			if v[0] != 1 {
+				t.Errorf("first read = %d", v[0])
+			}
+			c.EndReadChaotic(acc)
+		}
+		c.Barrier()
+		if c.Node() == 0 {
+			a := c.BeginUpdateAccum(acc).(pack.Ints)
+			a[0] = 2
+			c.EndUpdateAccum(acc)
+		}
+		c.Barrier()
+		if c.Node() == 1 {
+			c.Compute(1e4) // ~1.8ms on the CM-5: snapshot now stale
+			v := c.BeginReadChaotic(acc).(pack.Ints)
+			got = v[0]
+			c.EndReadChaotic(acc)
+		}
+	})
+	if got != 2 {
+		t.Errorf("aged chaotic read = %d, want refreshed 2", got)
+	}
+}
+
+func TestRandomizedMixedWorkloadInvariants(t *testing.T) {
+	// A randomized program exercising values, accumulators, chaotic
+	// reads and tasks together; validated by global sum conservation.
+	for seed := int64(1); seed <= 3; seed++ {
+		const n = 5
+		var total int
+		runCM5(t, n, Options{}, func(c *Ctx) {
+			rng := rand.New(rand.NewSource(seed*100 + int64(c.Node())))
+			acc := N1(tagW, 40)
+			if c.Node() == 0 {
+				c.CreateAccum(acc, ints(0))
+			}
+			c.Barrier()
+			local := 0
+			for i := 0; i < 20; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					a := c.BeginUpdateAccum(acc).(pack.Ints)
+					a[0] += i
+					c.EndUpdateAccum(acc)
+					local += i
+				case 1:
+					v := c.BeginReadChaotic(acc).(pack.Ints)
+					_ = v[0]
+					c.EndReadChaotic(acc)
+				case 2:
+					name := N3(tagT, 40, c.Node(), i)
+					c.CreateValue(name, ints(i), UsesUnlimited)
+					v := c.BeginUseValue(name).(pack.Ints)
+					if v[0] != i {
+						t.Errorf("self value = %d, want %d", v[0], i)
+					}
+					c.EndUseValue(name)
+				}
+			}
+			// Publish each node's expected contribution.
+			c.CreateValue(N2(tagT, 41, c.Node()), ints(local), UsesUnlimited)
+			c.Barrier()
+			if c.Node() == 0 {
+				want := 0
+				for node := 0; node < n; node++ {
+					v := c.BeginUseValue(N2(tagT, 41, node)).(pack.Ints)
+					want += v[0]
+					c.EndUseValue(N2(tagT, 41, node))
+				}
+				a := c.BeginUpdateAccum(acc).(pack.Ints)
+				total = a[0] - want // zero if no updates lost
+				c.EndUpdateAccum(acc)
+			}
+		})
+		if total != 0 {
+			t.Errorf("seed %d: accumulator out of balance by %d", seed, total)
+		}
+	}
+}
+
+func TestManyNodesSmoke(t *testing.T) {
+	// 64 nodes (the CM-5 configuration) all interacting.
+	const n = 64
+	var sum int
+	runCM5(t, n, Options{}, func(c *Ctx) {
+		acc := N1(tagA, 50)
+		if c.Node() == 0 {
+			c.CreateAccum(acc, ints(0))
+		}
+		c.Barrier()
+		a := c.BeginUpdateAccum(acc).(pack.Ints)
+		a[0] += c.Node()
+		c.EndUpdateAccum(acc)
+		c.Barrier()
+		if c.Node() == 0 {
+			a := c.BeginUpdateAccum(acc).(pack.Ints)
+			sum = a[0]
+			c.EndUpdateAccum(acc)
+		}
+	})
+	if sum != n*(n-1)/2 {
+		t.Errorf("sum = %d, want %d", sum, n*(n-1)/2)
+	}
+}
+
+func TestHomePlacementSpread(t *testing.T) {
+	// Names must spread across homes reasonably evenly.
+	counts := make([]int, 16)
+	for i := 0; i < 4096; i++ {
+		counts[N2(3, i, i*7).home(16)]++
+	}
+	for node, got := range counts {
+		if got < 128 || got > 512 {
+			t.Errorf("home %d has %d names of 4096; hash badly skewed", node, got)
+		}
+	}
+}
+
+func TestDeterministicAcrossRunsFullApps(t *testing.T) {
+	run := func() string {
+		_, fab := runCM5(t, 6, Options{}, func(c *Ctx) {
+			acc := N1(tagA, 60)
+			if c.Node() == 0 {
+				c.CreateAccum(acc, ints(0))
+				for i := 0; i < 12; i++ {
+					c.SpawnTask(i%6, i, 8)
+				}
+			}
+			c.Barrier()
+			for {
+				tk, ok := c.NextTask()
+				if !ok {
+					break
+				}
+				a := c.BeginUpdateAccum(acc).(pack.Ints)
+				a[0] += tk.(int)
+				c.EndUpdateAccum(acc)
+				c.Compute(1e4)
+			}
+		})
+		return fmt.Sprint(fab.Elapsed(), fab.Counters(0).Messages, fab.Counters(3).Messages)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %s vs %s", a, b)
+	}
+}

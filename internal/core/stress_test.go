@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTerminationStress(t *testing.T) {
+	// Staggered task completions across many configurations; any
+	// termination-detection hole shows up as a sim deadlock error.
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		for seed := 0; seed < 4; seed++ {
+			n, seed := n, seed
+			done := make([]int, n)
+			runCM5(t, n, Options{}, func(c *Ctx) {
+				type job struct{ depth, w int }
+				if c.Node() == seed%n {
+					for i := 0; i < 6; i++ {
+						c.SpawnTask(i%n, job{0, i}, 8)
+					}
+				}
+				for {
+					tk, ok := c.NextTask()
+					if !ok {
+						break
+					}
+					j := tk.(job)
+					c.Compute(float64(1000 * (j.w + 1) * (c.Node() + 1)))
+					if j.depth < 3 && (j.w+seed)%2 == 0 {
+						c.SpawnTask((c.Node()+j.w+1)%n, job{j.depth + 1, j.w}, 8)
+					}
+					done[c.Node()]++
+				}
+			})
+		}
+	}
+}

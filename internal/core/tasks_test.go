@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"samsys/internal/pack"
+)
+
+const tagW = 3
+
+func TestTaskPoolProcessesAllTasks(t *testing.T) {
+	// Node 0 seeds tasks round-robin; every task is executed exactly once
+	// and NextTask terminates everywhere.
+	const n, tasks = 4, 40
+	done := make([]int, n)
+	runCM5(t, n, Options{}, func(c *Ctx) {
+		if c.Node() == 0 {
+			for i := 0; i < tasks; i++ {
+				c.SpawnTask(i%n, i, 8)
+			}
+		}
+		for {
+			_, ok := c.NextTask()
+			if !ok {
+				break
+			}
+			done[c.Node()]++
+			c.Compute(1e3)
+		}
+	})
+	total := 0
+	for _, d := range done {
+		total += d
+	}
+	if total != tasks {
+		t.Errorf("processed %d tasks, want %d", total, tasks)
+	}
+}
+
+func TestTasksSpawnTasksTransitively(t *testing.T) {
+	// Tasks recursively spawn children; termination must wait for the
+	// whole tree (tests in-flight task detection).
+	const n = 4
+	var processed int64
+	runCM5(t, n, Options{}, func(c *Ctx) {
+		type job struct{ depth int }
+		if c.Node() == 0 {
+			c.SpawnTask(0, job{0}, 8)
+		}
+		for {
+			tk, ok := c.NextTask()
+			if !ok {
+				break
+			}
+			j := tk.(job)
+			c.Compute(1e3)
+			if j.depth < 5 {
+				for child := 0; child < 2; child++ {
+					c.SpawnTask((c.Node()+child+1)%n, job{j.depth + 1}, 8)
+				}
+			}
+		}
+		processed += c.TasksProcessed()
+	})
+	// Full binary tree of depth 5: 2^6 - 1 = 63 tasks.
+	if processed != 63 {
+		t.Errorf("processed %d tasks, want 63", processed)
+	}
+}
+
+func TestTaskPriorityOrder(t *testing.T) {
+	// With a priority order installed, queued tasks run smallest-first.
+	var order []int
+	runCM5(t, 1, Options{}, func(c *Ctx) {
+		c.SetTaskOrder(func(a, b any) bool { return a.(int) < b.(int) })
+		for _, v := range []int{5, 1, 4, 2, 3} {
+			c.SpawnTask(0, v, 8)
+		}
+		for {
+			tk, ok := c.NextTask()
+			if !ok {
+				break
+			}
+			order = append(order, tk.(int))
+		}
+	})
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("tasks out of priority order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("got %d tasks, want 5", len(order))
+	}
+}
+
+func TestTerminationWithNoTasks(t *testing.T) {
+	// A pool in which nobody spawns anything terminates immediately.
+	runCM5(t, 3, Options{}, func(c *Ctx) {
+		if _, ok := c.NextTask(); ok {
+			t.Error("NextTask returned a task from an empty pool")
+		}
+	})
+}
+
+func TestSingleNodeTaskPool(t *testing.T) {
+	count := 0
+	runCM5(t, 1, Options{}, func(c *Ctx) {
+		c.SpawnTask(0, "x", 4)
+		c.SpawnTask(0, "y", 4)
+		for {
+			if _, ok := c.NextTask(); !ok {
+				break
+			}
+			count++
+		}
+	})
+	if count != 2 {
+		t.Errorf("processed %d, want 2", count)
+	}
+}
+
+func TestTasksInterleaveWithSharedData(t *testing.T) {
+	// A task-parallel reduction: tasks add their payload into a shared
+	// accumulator; the total must be exact, demonstrating tasking and
+	// shared data compose.
+	const n, tasks = 4, 24
+	var total int
+	runCM5(t, n, Options{}, func(c *Ctx) {
+		acc := N1(tagW, 1)
+		if c.Node() == 0 {
+			c.CreateAccum(acc, pack.Ints{0})
+			for i := 1; i <= tasks; i++ {
+				c.SpawnTask(i%n, i, 8)
+			}
+		}
+		c.Barrier()
+		for {
+			tk, ok := c.NextTask()
+			if !ok {
+				break
+			}
+			a := c.BeginUpdateAccum(acc).(pack.Ints)
+			a[0] += tk.(int)
+			c.EndUpdateAccum(acc)
+		}
+		c.Barrier()
+		if c.Node() == 0 {
+			a := c.BeginUpdateAccum(acc).(pack.Ints)
+			total = a[0]
+			c.EndUpdateAccum(acc)
+		}
+	})
+	want := tasks * (tasks + 1) / 2
+	if total != want {
+		t.Errorf("reduction = %d, want %d", total, want)
+	}
+}

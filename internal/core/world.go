@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"samsys/internal/fabric"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+// World is a SAM runtime instance spanning every node of a fabric.
+// Create one with NewWorld, then call Run exactly once.
+type World struct {
+	fab   fabric.Fabric
+	opts  Options
+	nodes []*nodeRT
+}
+
+// NewWorld creates the SAM runtime on the given fabric. It installs the
+// fabric's message handler, so the fabric must not have one already.
+func NewWorld(fab fabric.Fabric, opts Options) *World {
+	w := &World{fab: fab, opts: opts}
+	n := fab.N()
+	w.nodes = make([]*nodeRT, n)
+	for i := 0; i < n; i++ {
+		w.nodes[i] = newNodeRT(w, i, n)
+	}
+	fab.SetHandler(w.handle)
+	return w
+}
+
+// Options returns the runtime options.
+func (w *World) Options() Options { return w.opts }
+
+// Run starts app as the application process on every node (SPMD) and
+// returns when all of them finish.
+func (w *World) Run(app func(*Ctx)) error {
+	return w.fab.Run(func(fc fabric.Ctx) {
+		app(&Ctx{fc: fc, rt: w.nodes[fc.Node()], w: w})
+	})
+}
+
+// handle dispatches one incoming message on its destination node.
+func (w *World) handle(hc fabric.Ctx, m fabric.Message) {
+	w.nodes[hc.Node()].dispatch(hc, m.Payload)
+}
+
+// nodeRT is the per-node SAM runtime state. All access happens in the
+// node's app process or handler context; the fabric serializes execution
+// so no further locking is needed.
+type nodeRT struct {
+	w     *World
+	node  int
+	n     int
+	dir   map[Name]*dirEntry
+	cache *cache
+
+	// Value machinery.
+	valWait  map[Name][]valWaiter // waiting for a value copy to arrive
+	fetching map[Name]bool        // outstanding value fetch
+
+	// Accumulator machinery.
+	acqWait         map[Name]fabric.Event // app waiting for exclusive access
+	nextAfter       map[Name]int          // successor named before data arrived
+	chaoticWait     map[Name][]valWaiter  // app waiting for a snapshot
+	chaoticFetching map[Name]bool
+	pendingChaotic  map[Name][]int // remote chaotic requests queued here
+	forwardedTo     map[Name]int   // migration tombstones for routing
+
+	// Rename machinery.
+	renameWait map[Name]fabric.Event
+
+	// Barrier machinery.
+	barEpoch   int64
+	barEv      fabric.Event
+	barArrived map[int64]int // node 0 only
+
+	// Task machinery.
+	taskq      taskQueue
+	taskEv     fabric.Event
+	spawned    int64
+	processed  int64
+	inTask     bool // app is outside NextTask (setup or task body)
+	terminated bool
+	term       *termState // node 0 only
+}
+
+func newNodeRT(w *World, node, n int) *nodeRT {
+	rt := &nodeRT{
+		w: w, node: node, n: n,
+		dir:             make(map[Name]*dirEntry),
+		cache:           newCache(w.opts.cacheBytes()),
+		valWait:         make(map[Name][]valWaiter),
+		fetching:        make(map[Name]bool),
+		acqWait:         make(map[Name]fabric.Event),
+		nextAfter:       make(map[Name]int),
+		chaoticWait:     make(map[Name][]valWaiter),
+		chaoticFetching: make(map[Name]bool),
+		pendingChaotic:  make(map[Name][]int),
+		forwardedTo:     make(map[Name]int),
+		renameWait:      make(map[Name]fabric.Event),
+	}
+	// Until the app first calls NextTask it may still spawn seed tasks,
+	// so it counts as busy for termination detection.
+	rt.inTask = true
+	if node == 0 {
+		rt.barArrived = make(map[int64]int)
+		rt.term = newTermState(n)
+	}
+	return rt
+}
+
+// valWaiter is one local party waiting for a data item to arrive: either a
+// blocked application call (ev) or an asynchronous fetch callback (cb).
+// If pin is set the arriving copy is pinned on behalf of the waiter.
+type valWaiter struct {
+	ev  fabric.Event
+	cb  func(Item)
+	pin bool
+}
+
+// dirEntry is home-node directory state for one name.
+type dirEntry struct {
+	kind     itemKind
+	created  bool
+	owner    int   // value: creating node; accum: creator (for conversion)
+	tail     int   // accum: last node in the mutual-exclusion queue
+	usesLeft int64 // value: remaining declared uses; <0 means unlimited
+	drained  bool  // value: all declared uses consumed
+	version  int64 // accum: last committed version (Invalidate mode)
+
+	pendingGets    []int // value fetches before creation/conversion
+	pendingAcqs    []int // accum acquisitions before creation
+	pendingChaotic []int // chaotic reads before creation
+
+	copies       []bool // nodes that fetched or were pushed a value copy
+	snapshots    []bool // nodes holding chaotic accumulator snapshots
+	pastHolders  []bool // nodes that ever held the accumulator
+	renameWaiter int    // node waiting in BeginRenameValue, -1 if none
+}
+
+func (rt *nodeRT) dirGet(name Name) *dirEntry {
+	e := rt.dir[name]
+	if e == nil {
+		e = &dirEntry{
+			tail: -1, renameWaiter: -1,
+			copies:      make([]bool, rt.n),
+			snapshots:   make([]bool, rt.n),
+			pastHolders: make([]bool, rt.n),
+		}
+		rt.dir[name] = e
+	}
+	return e
+}
+
+// send delivers a protocol message, short-circuiting node-local traffic:
+// messages to self are dispatched directly with no communication cost,
+// exactly as the real runtime handles local operations.
+func (rt *nodeRT) send(fc fabric.Ctx, dst, size int, payload any) {
+	if dst == rt.node {
+		rt.dispatch(fc, payload)
+		return
+	}
+	fc.Send(dst, size, payload)
+}
+
+// dispatch routes one protocol message to its handler.
+func (rt *nodeRT) dispatch(fc fabric.Ctx, payload any) {
+	switch m := payload.(type) {
+	case msgValCreated:
+		rt.handleValCreated(fc, m)
+	case msgValGet:
+		rt.handleValGet(fc, m)
+	case msgValFwd:
+		rt.handleValFwd(fc, m)
+	case msgValData:
+		rt.handleValData(fc, m)
+	case msgCopyNote:
+		rt.handleCopyNote(fc, m)
+	case msgUsesDone:
+		rt.handleUsesDone(fc, m)
+	case msgValRelease:
+		rt.handleValRelease(fc, m)
+	case msgRenameReq:
+		rt.handleRenameReq(fc, m)
+	case msgRenameOK:
+		rt.handleRenameOK(fc, m)
+	case msgDestroy:
+		rt.handleDestroy(fc, m)
+	case msgAccCreated:
+		rt.handleAccCreated(fc, m)
+	case msgAccAcq:
+		rt.handleAccAcq(fc, m)
+	case msgAccFwd:
+		rt.handleAccFwd(fc, m)
+	case msgAccData:
+		rt.handleAccData(fc, m)
+	case msgChaoticGet:
+		rt.handleChaoticGet(fc, m)
+	case msgChaoticData:
+		rt.handleChaoticData(fc, m)
+	case msgCommitNote:
+		rt.handleCommitNote(fc, m)
+	case msgInvalidate:
+		rt.handleInvalidate(fc, m)
+	case msgConvert:
+		rt.handleConvert(fc, m)
+	case msgBarrierArrive:
+		rt.handleBarrierArrive(fc, m)
+	case msgBarrierRelease:
+		rt.handleBarrierRelease(fc, m)
+	case msgTask:
+		rt.handleTask(fc, m)
+	case msgIdleReport:
+		rt.handleIdleReport(fc, m)
+	case msgTermProbe:
+		rt.handleTermProbe(fc, m)
+	case msgTermReply:
+		rt.handleTermReply(fc, m)
+	case msgTerminate:
+		rt.handleTerminate(fc, m)
+	default:
+		panic(fmt.Sprintf("sam: node %d received unknown message %T", rt.node, payload))
+	}
+}
+
+// protoErr reports a protocol-invariant violation or API misuse. SAM is a
+// runtime system; like the C original, misuse aborts with a diagnostic.
+func (rt *nodeRT) protoErr(format string, args ...any) {
+	panic(fmt.Sprintf("sam: node %d: %s", rt.node, fmt.Sprintf(format, args...)))
+}
+
+// chargeAddr charges the software address-translation cost of one shared
+// data access (hash lookup plus cache LRU management).
+func chargeAddr(fc fabric.Ctx) {
+	fc.Charge(stats.Addr, fc.Profile().AddrTrans)
+}
+
+// chargePack charges the cost of packing or unpacking size bytes.
+func chargePack(fc fabric.Ctx, size int) {
+	fc.Charge(stats.Pack, fc.Profile().PackTime(size))
+}
+
+// now returns the current time of an execution context.
+func (rt *nodeRT) now(fc fabric.Ctx) sim.Time { return fc.Now() }
+
+// chaoticFresh reports whether a cached accumulator copy is recent enough
+// to satisfy a chaotic read under the ChaoticMaxAge policy. Holder copies
+// are always current.
+func (rt *nodeRT) chaoticFresh(fc fabric.Ctx, e *entry) bool {
+	if e.owner {
+		return true
+	}
+	max := rt.w.opts.ChaoticMaxAge
+	return max == 0 || fc.Now()-e.fetched <= max
+}

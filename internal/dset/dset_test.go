@@ -1,0 +1,125 @@
+package dset
+
+import (
+	"testing"
+
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/pack"
+)
+
+func TestConcurrentAddsUniqueIndices(t *testing.T) {
+	const nodes, perNode = 6, 10
+	fab := simfab.New(machine.CM5, nodes)
+	w := core.NewWorld(fab, core.Options{})
+	got := make([][]int64, nodes)
+	s := Set{Tag: 40, ID: 1}
+	err := w.Run(func(c *core.Ctx) {
+		if c.Node() == 0 {
+			s.Create(c)
+		}
+		c.Barrier()
+		for k := 0; k < perNode; k++ {
+			idx := s.Add(c, pack.Ints{c.Node()*1000 + k})
+			got[c.Node()] = append(got[c.Node()], idx)
+		}
+		c.Barrier()
+		if c.Node() == 0 {
+			if n := s.Len(c); n != nodes*perNode {
+				t.Errorf("Len = %d, want %d", n, nodes*perNode)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, idxs := range got {
+		for _, i := range idxs {
+			if seen[i] {
+				t.Fatalf("duplicate index %d", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != nodes*perNode {
+		t.Errorf("got %d unique indices, want %d", len(seen), nodes*perNode)
+	}
+}
+
+func TestElementsReadableEverywhere(t *testing.T) {
+	const nodes = 4
+	fab := simfab.New(machine.CM5, nodes)
+	w := core.NewWorld(fab, core.Options{})
+	s := Set{Tag: 40, ID: 2}
+	err := w.Run(func(c *core.Ctx) {
+		if c.Node() == 0 {
+			s.Create(c)
+			for k := 0; k < 8; k++ {
+				s.Add(c, pack.Ints{k * k})
+			}
+		}
+		c.Barrier()
+		n := s.Len(c)
+		for i := int64(0); i < n; i++ {
+			v := s.BeginGet(c, i).(pack.Ints)
+			if v[0] != int(i*i) {
+				t.Errorf("element %d = %d, want %d", i, v[0], i*i)
+			}
+			s.EndGet(c, i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaoticLenIsRecentAndCheap(t *testing.T) {
+	const nodes = 3
+	fab := simfab.New(machine.CM5, nodes)
+	w := core.NewWorld(fab, core.Options{})
+	s := Set{Tag: 40, ID: 3}
+	err := w.Run(func(c *core.Ctx) {
+		if c.Node() == 0 {
+			s.Create(c)
+			s.Add(c, pack.Ints{1})
+			s.Add(c, pack.Ints{2})
+		}
+		c.Barrier()
+		n1 := s.LenChaotic(c)
+		if n1 < 0 || n1 > 2 {
+			t.Errorf("chaotic len %d out of range", n1)
+		}
+		// Repeated chaotic reads on the same node are local.
+		base := c.Counters().RemoteAccesses
+		for i := 0; i < 5; i++ {
+			s.LenChaotic(c)
+		}
+		if c.Counters().RemoteAccesses != base {
+			t.Error("chaotic reads after the first should be local")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemNamesDistinct(t *testing.T) {
+	s := Set{Tag: 40, ID: 4}
+	seen := map[core.Name]bool{}
+	for i := int64(0); i < 1000; i++ {
+		n := s.ElemName(i)
+		if seen[n] {
+			t.Fatalf("name collision at %d", i)
+		}
+		seen[n] = true
+	}
+	if seen[s.countName()] {
+		t.Error("count name collides with element names")
+	}
+	other := Set{Tag: 40, ID: 5}
+	if s.ElemName(0) == other.ElemName(0) {
+		t.Error("sets with different ids collide")
+	}
+}

@@ -1,0 +1,195 @@
+// Package exp contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (Figures 2-14). Each experiment
+// runs the relevant applications on simulated machine models and prints
+// the same rows or series the paper reports. EXPERIMENTS.md records
+// paper-vs-measured values for each.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"samsys/internal/machine"
+)
+
+// Scale selects workload sizes.
+type Scale int
+
+const (
+	// Quick runs minutes-scale inputs suitable for tests and benchmarks;
+	// shapes match the paper, absolute work is smaller.
+	Quick Scale = iota
+	// Full runs paper-scale inputs (BCSSTK15-class n≈4096, D1000, 25000
+	// bodies); budget several minutes of real time.
+	Full
+)
+
+// Options configure an experiment run.
+type Options struct {
+	Scale    Scale
+	Machines []machine.Profile // defaults per experiment if nil
+	Procs    []int             // processor counts; defaults per experiment
+}
+
+func (o Options) machines(def ...machine.Profile) []machine.Profile {
+	if len(o.Machines) > 0 {
+		return o.Machines
+	}
+	return def
+}
+
+func (o Options) procs(def ...int) []int {
+	if len(o.Procs) > 0 {
+		return o.Procs
+	}
+	return def
+}
+
+// capProcs limits processor counts to a machine's largest configuration.
+func capProcs(procs []int, prof machine.Profile) []int {
+	var out []int
+	for _, p := range procs {
+		if p <= prof.MaxNodes {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // "fig4", ...
+	Title string
+	Run   func(o Options) (*Report, error)
+}
+
+// Report is a formatted experiment result.
+type Report struct {
+	ID    string
+	Title string
+	Notes []string
+	Table *Table
+	Extra []*Table
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	if r.Table != nil {
+		sb.WriteString(r.Table.String())
+	}
+	for _, t := range r.Extra {
+		sb.WriteString("\n")
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		// figN sorts numerically.
+		var x, y int
+		fmt.Sscanf(ids[a], "fig%d", &x)
+		fmt.Sscanf(ids[b], "fig%d", &y)
+		if x != y {
+			return x < y
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringable cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&sb, "-- %s --\n", t.Caption)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

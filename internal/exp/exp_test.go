@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"samsys/internal/machine"
+)
+
+// tinyOpts keeps experiment smoke tests fast: one or two machines, small
+// processor counts, quick-scale workloads.
+func tinyOpts() Options {
+	return Options{
+		Scale:    Quick,
+		Machines: []machine.Profile{machine.CM5, machine.Paragon},
+		Procs:    []int{1, 8},
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %s, want %s (numeric order)", i, ids[i], id)
+		}
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Caption: "cap", Header: []string{"a", "bb"}}
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer", 12345.6)
+	s := tb.String()
+	if !strings.Contains(s, "cap") || !strings.Contains(s, "longer") {
+		t.Errorf("table output missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "1.50") || !strings.Contains(s, "12346") {
+		t.Errorf("float formatting wrong:\n%s", s)
+	}
+}
+
+func TestFig2RunsAndCountsLines(t *testing.T) {
+	rep, err := Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rep.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 3 {
+		t.Fatalf("fig2 has %d rows, want 3", len(r.Table.Rows))
+	}
+	for _, row := range r.Table.Rows {
+		if row[1] == "0" || row[2] == "0" {
+			t.Errorf("zero line count in %v", row)
+		}
+	}
+}
+
+func TestFig3MatchesMeasuredCharacteristics(t *testing.T) {
+	e, _ := Get("fig3")
+	r, err := e.Run(Options{Scale: Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != len(machine.All) {
+		t.Errorf("fig3 rows = %d, want %d", len(r.Table.Rows), len(machine.All))
+	}
+}
+
+// TestEveryExperimentRunsTiny executes each experiment end to end at the
+// smallest configuration, validating the full harness.
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	o := tinyOpts()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := e.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := r.String()
+			if !strings.Contains(out, id) {
+				t.Errorf("report missing id header:\n%s", out)
+			}
+			if r.Table == nil && len(r.Extra) == 0 {
+				t.Error("report has no tables")
+			}
+		})
+	}
+}
+
+func TestCapProcs(t *testing.T) {
+	got := capProcs([]int{1, 8, 32, 64}, machine.SP1) // MaxNodes 16
+	if len(got) != 2 || got[1] != 8 {
+		t.Errorf("capProcs = %v", got)
+	}
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+
+	"samsys/internal/apps/barneshut"
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "fig6", Title: "Barnes-Hut speedup and absolute performance", Run: runFig6})
+	register(Experiment{ID: "fig7", Title: "Frequency of shared data access in Barnes-Hut", Run: runFig7})
+}
+
+// bhConfig returns the per-machine configuration the paper uses: tree
+// blocking on every machine except the CM-5, whose cheap messages make
+// blocking unnecessary.
+func bhConfig(prof machine.Profile, w *workloads) barneshut.Config {
+	return barneshut.Config{
+		Bodies:     w.bhBodies,
+		Params:     w.bhParams,
+		Blocking:   prof.Name != machine.CM5.Name,
+		PushLevels: 2,
+	}
+}
+
+// runFig6 reproduces Figure 6: speedup vs. the serial algorithm and
+// bodies processed per second, for the SAM version on every machine and
+// the message-passing version on the iPSC/860 (the paper's MP-iPSC line).
+func runFig6(o Options) (*Report, error) {
+	w := loadWorkloads(o.Scale)
+	serial := barneshut.RunSerial(w.bhBodies, w.bhParams)
+	machines := o.machines(machine.All...)
+	procs := o.procs(1, 2, 4, 8, 16, 32)
+	t := &Table{
+		Caption: fmt.Sprintf("%d bodies, %d step(s), theta=%.1f",
+			len(w.bhBodies), w.bhParams.Steps, w.bhParams.Theta),
+		Header: []string{"machine", "P", "speedup", "bodies/s", "avg data msg B"},
+	}
+	for _, prof := range machines {
+		for _, p := range capProcs(procs, prof) {
+			fab := simfab.New(prof, p)
+			res, err := barneshut.Run(fab, core.Options{}, bhConfig(prof, w))
+			if err != nil {
+				return nil, err
+			}
+			addBHRow(t, prof.Name, p, serial, res, prof, w)
+		}
+	}
+	// Message-passing baseline on the iPSC/860.
+	for _, p := range capProcs(procs, machine.IPSC) {
+		fab := simfab.New(machine.IPSC, p)
+		res, err := barneshut.RunMP(fab, barneshut.Config{Bodies: w.bhBodies, Params: w.bhParams})
+		if err != nil {
+			return nil, err
+		}
+		addBHRow(t, "MP-iPSC", p, serial, res, machine.IPSC, w)
+	}
+	return &Report{ID: "fig6", Title: "Barnes-Hut speedup and absolute performance", Table: t,
+		Notes: []string{
+			"Shape to match: all versions scale; MP-iPSC has the best speedups; DASH beats the SAM",
+			"distributed-memory runs; SAM on iPSC/SP1 has the lowest speedups (expensive messages).",
+		}}, nil
+}
+
+func addBHRow(t *Table, name string, p int, serial *barneshut.SerialResult,
+	res *barneshut.Result, prof machine.Profile, w *workloads) {
+	serialTime := prof.FlopTime(serial.Work)
+	sp := float64(serialTime) / float64(res.Elapsed)
+	avgMsg := 0.0
+	if res.Counters.DataMessages > 0 {
+		avgMsg = float64(res.Counters.DataBytes) / float64(res.Counters.DataMessages)
+	}
+	t.AddRow(name, p, sp, res.BodiesPerSecond(len(w.bhBodies), w.bhParams.Steps), avgMsg)
+}
+
+// runFig7 reproduces Figure 7: useful work between shared accesses and
+// between remote accesses for 32-processor runs (16 on the SP1).
+func runFig7(o Options) (*Report, error) {
+	w := loadWorkloads(o.Scale)
+	serial := barneshut.RunSerial(w.bhBodies, w.bhParams)
+	t := &Table{
+		Caption: fmt.Sprintf("%d-body simulation", len(w.bhBodies)),
+		Header:  []string{"machine", "P", "work/shared-access µs", "work/remote-access µs"},
+	}
+	for _, prof := range o.machines(machine.Distributed...) {
+		procs := 32
+		if procs > prof.MaxNodes {
+			procs = prof.MaxNodes
+		}
+		fab := simfab.New(prof, procs)
+		res, err := barneshut.Run(fab, core.Options{}, bhConfig(prof, w))
+		if err != nil {
+			return nil, err
+		}
+		serialTime := prof.FlopTime(serial.Work)
+		perShared := sim.SecondsOf(serialTime) / float64(res.Counters.SharedAccesses) * 1e6
+		perRemote := sim.SecondsOf(serialTime) / float64(res.Counters.RemoteAccesses) * 1e6
+		t.AddRow(prof.Name, procs, perShared, perRemote)
+	}
+	return &Report{ID: "fig7", Title: "Frequency of shared data access in Barnes-Hut", Table: t,
+		Notes: []string{
+			"Paper (Figure 7, 25000 bodies): CM-5 27/3170µs, iPSC 39/8603µs, Paragon 32/7069µs, SP1(16) 13/8848µs.",
+			"Shape to match: access granularity is ~10x finer than Cholesky, locality far higher",
+			"(remote accesses orders of magnitude rarer than shared accesses).",
+		}}, nil
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+
+	"samsys/internal/apps/barneshut"
+	"samsys/internal/apps/cholesky"
+	"samsys/internal/apps/grobner"
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig10", Title: "Parallelization and communication costs (averages)", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "Parallelization and communication costs (ranges)", Run: runFig11})
+	register(Experiment{ID: "fig13", Title: "Number of synchronizations", Run: runFig13})
+}
+
+// appRun is one 32-processor application run with its cost breakdown.
+type appRun struct {
+	app       string
+	prof      machine.Profile
+	procs     int
+	elapsed   sim.Time
+	serial    sim.Time
+	breakdown stats.Breakdown
+	counters  stats.Counters
+}
+
+// costRuns executes the three applications on the given machine at (up
+// to) 32 processors and returns their breakdowns.
+func costRuns(o Options, prof machine.Profile) ([]appRun, error) {
+	w := loadWorkloads(o.Scale)
+	procs := 32
+	if procs > prof.MaxNodes {
+		procs = prof.MaxNodes
+	}
+	var runs []appRun
+
+	cres, err := runChol(prof, procs, w.cholSparse, w.cholBlock, core.Options{}, cholesky.Config{})
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, appRun{
+		app: "Block Cholesky", prof: prof, procs: procs,
+		elapsed: cres.Elapsed, serial: prof.FlopTime(cres.SerialFlops),
+		breakdown: cres.Breakdown, counters: cres.Counters,
+	})
+
+	bserial := barneshut.RunSerial(w.bhBodies, w.bhParams)
+	bfab := simfab.New(prof, procs)
+	bres, err := barneshut.Run(bfab, core.Options{}, bhConfig(prof, w))
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, appRun{
+		app: "Barnes-Hut", prof: prof, procs: procs,
+		elapsed: bres.Elapsed, serial: prof.FlopTime(bserial.Work),
+		breakdown: bres.Breakdown, counters: bres.Counters,
+	})
+
+	in := w.gbInputs[0]
+	gserial := serialGrobner(in)
+	gfab := simfab.New(prof, procs)
+	gres, err := grobner.Run(gfab, core.Options{}, grobner.Config{Input: in})
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, appRun{
+		app: "Grobner (" + in.Name + ")", prof: prof, procs: procs,
+		elapsed: gres.Elapsed, serial: prof.Cycles(float64(gserial.Work) * 40),
+		breakdown: gres.Breakdown, counters: gres.Counters,
+	})
+	return runs, nil
+}
+
+// costMachines is the trio of machines in Figures 10/11.
+func costMachines(o Options) []machine.Profile {
+	return o.machines(machine.CM5, machine.IPSC, machine.Paragon)
+}
+
+// runFig10 reproduces Figure 10: average percentage of each processor's
+// time per category, including the "application time" segment (perfect
+// 1/P share of the serial work) and the unaccounted remainder.
+func runFig10(o Options) (*Report, error) {
+	t := &Table{
+		Header: []string{"app", "machine", "P", "appTime%", "idle%", "msg%",
+			"stall%", "addr%", "pack%", "unacct%"},
+	}
+	for _, prof := range costMachines(o) {
+		runs, err := costRuns(o, prof)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range runs {
+			appPct := 100 * float64(r.serial) / float64(r.procs) / float64(r.elapsed)
+			unacct := 100.0 - appPct
+			for _, cat := range []int{stats.Idle, stats.Msg, stats.Stall, stats.Addr, stats.Pack} {
+				unacct -= r.breakdown.Avg(cat)
+			}
+			if unacct < 0 {
+				unacct = 0
+			}
+			t.AddRow(r.app, r.prof.Name, r.procs, appPct,
+				r.breakdown.Avg(stats.Idle), r.breakdown.Avg(stats.Msg),
+				r.breakdown.Avg(stats.Stall), r.breakdown.Avg(stats.Addr),
+				r.breakdown.Avg(stats.Pack), unacct)
+		}
+	}
+	return &Report{ID: "fig10", Title: "Parallelization and communication costs (averages)", Table: t,
+		Notes: []string{
+			"Shape to match: Cholesky dominated by idle+message time; Barnes-Hut by address translation",
+			"(largest on the unblocked CM-5) and stall; Grobner by idle and stall; unaccounted time is",
+			"the extra work of the parallel algorithm.",
+		}}, nil
+}
+
+// runFig11 reproduces Figure 11: the same data with per-category ranges
+// across processors.
+func runFig11(o Options) (*Report, error) {
+	rep := &Report{ID: "fig11", Title: "Parallelization and communication costs (ranges)"}
+	for _, prof := range costMachines(o) {
+		runs, err := costRuns(o, prof)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Caption: prof.Name,
+			Header:  []string{"app", "idle% (range)", "msg% (range)", "stall% (range)", "addr% (range)", "pack% (range)"},
+		}
+		for _, r := range runs {
+			cells := []any{r.app}
+			for _, cat := range []int{stats.Idle, stats.Msg, stats.Stall, stats.Addr, stats.Pack} {
+				lo, hi := r.breakdown.Range(cat)
+				cells = append(cells, fmt.Sprintf("%.1f (%.1f-%.1f)", r.breakdown.Avg(cat), lo, hi))
+			}
+			t.AddRow(cells...)
+		}
+		rep.Extra = append(rep.Extra, t)
+	}
+	return rep, nil
+}
+
+// runFig13 reproduces Figure 13: barriers, total shared accesses, and the
+// producer/consumer and mutual-exclusion synchronizations that an
+// imperative shared-memory system would have had to implement with extra
+// synchronization operations.
+func runFig13(o Options) (*Report, error) {
+	t := &Table{
+		Header: []string{"app", "machine", "barriers", "total shared accesses",
+			"prod/cons", "mutual excl"},
+	}
+	prof := machine.CM5
+	runs, err := costRuns(o, prof)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		barriers := r.counters.Barriers / int64(r.procs) // episodes, not arrivals
+		t.AddRow(r.app, prof.Name, barriers, r.counters.SharedAccesses,
+			fmt.Sprintf("%d (%.2f%%)", r.counters.ProdConsWaits,
+				100*float64(r.counters.ProdConsWaits)/float64(r.counters.SharedAccesses)),
+			fmt.Sprintf("%d (%.2f%%)", r.counters.AccumAcquires,
+				100*float64(r.counters.AccumAcquires)/float64(r.counters.SharedAccesses)))
+	}
+	return &Report{ID: "fig13", Title: "Number of synchronizations", Table: t,
+		Notes: []string{
+			"Paper (Figure 13): Barnes-Hut 7 barriers, 14.6M accesses, 11210 prod/cons + 27463 mutex;",
+			"Cholesky 2 barriers, 93k accesses, 13197 prod/cons; Grobner 2 barriers, 1.1M accesses, 17301 mutex.",
+			"Shape to match: many non-barrier synchronizations, all folded into data access by SAM.",
+		}}, nil
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+
+	"samsys/internal/apps/grobner"
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "fig8", Title: "Grobner basis speedups and performance", Run: runFig8})
+	register(Experiment{ID: "fig9", Title: "Frequency of shared data access in Grobner runs", Run: runFig9})
+}
+
+// serialGB caches serial runs per input (they are deterministic).
+var serialGB = map[string]*grobner.SerialResult{}
+
+func serialGrobner(in grobner.Input) *grobner.SerialResult {
+	if r, ok := serialGB[in.Name]; ok {
+		return r
+	}
+	r := grobner.RunSerial(in)
+	serialGB[in.Name] = r
+	return r
+}
+
+// runFig8 reproduces Figure 8: speedups and absolute performance
+// (polynomials tested in the serial execution per second of parallel run
+// time) for the three input systems.
+func runFig8(o Options) (*Report, error) {
+	w := loadWorkloads(o.Scale)
+	machines := o.machines(machine.Distributed...)
+	procs := o.procs(1, 2, 4, 8, 16, 32)
+	rep := &Report{ID: "fig8", Title: "Grobner basis speedups and performance",
+		Notes: []string{
+			"inputs stand in for the paper's Lazard/katsura4/trinks1 (see DESIGN.md substitutions)",
+			"Shape to match: modest speedups that flatten with P (parallel runs do extra work as",
+			"the basis grows larger than in the serial execution).",
+		}}
+	for _, in := range w.gbInputs {
+		serial := serialGrobner(in)
+		t := &Table{
+			Caption: fmt.Sprintf("input %s (serial: %d pairs, %d basis polys)",
+				in.Name, serial.PairsDone, len(serial.Basis)),
+			Header: []string{"machine", "P", "speedup", "polys tested/s", "extra adds"},
+		}
+		for _, prof := range machines {
+			for _, p := range capProcs(procs, prof) {
+				fab := simfab.New(prof, p)
+				res, err := grobner.Run(fab, core.Options{}, grobner.Config{Input: in})
+				if err != nil {
+					return nil, err
+				}
+				serialTime := prof.Cycles(float64(serial.Work) * 40)
+				sp := float64(serialTime) / float64(res.Elapsed)
+				t.AddRow(prof.Name, p, sp, res.PolysTestedPerSecond(serial.PairsDone),
+					res.Additions-serial.Additions)
+			}
+		}
+		rep.Extra = append(rep.Extra, t)
+	}
+	return rep, nil
+}
+
+// runFig9 reproduces Figure 9: average *parallel* work between shared and
+// remote accesses in 32-processor runs of the first input.
+func runFig9(o Options) (*Report, error) {
+	w := loadWorkloads(o.Scale)
+	in := w.gbInputs[0]
+	t := &Table{
+		Caption: fmt.Sprintf("input %s", in.Name),
+		Header:  []string{"machine", "P", "work/shared-access µs", "work/remote-access µs"},
+	}
+	for _, prof := range o.machines(machine.Distributed...) {
+		procs := 32
+		if procs > prof.MaxNodes {
+			procs = prof.MaxNodes
+		}
+		fab := simfab.New(prof, procs)
+		res, err := grobner.Run(fab, core.Options{}, grobner.Config{Input: in})
+		if err != nil {
+			return nil, err
+		}
+		parallelWork := prof.Cycles(float64(res.Work) * 40)
+		perShared := sim.SecondsOf(parallelWork) / float64(res.Counters.SharedAccesses) * 1e6
+		perRemote := sim.SecondsOf(parallelWork) / float64(res.Counters.RemoteAccesses) * 1e6
+		t.AddRow(prof.Name, procs, perShared, perRemote)
+	}
+	return &Report{ID: "fig9", Title: "Frequency of shared data access in Grobner runs", Table: t,
+		Notes: []string{
+			"Paper (Figure 9, Lazard, parallel work): CM-5 55/3188µs, iPSC 75/4315µs, Paragon 51/2947µs, SP1(8) 30/7100µs.",
+			"Shape to match: fine-grained access with high locality, like Barnes-Hut.",
+		}}, nil
+}

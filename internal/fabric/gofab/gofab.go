@@ -1,0 +1,240 @@
+// Package gofab implements the fabric on real goroutines in real time,
+// making SAM usable as an in-process parallel programming library rather
+// than a simulation. Each node is one goroutine; incoming messages are
+// handled whenever the node is inside a fabric call (waiting, sending or
+// charging), which mirrors the polling network access of the original
+// CM-5 runtime and preserves the invariant that a node's application and
+// handler code never run concurrently.
+//
+// Charges do not sleep: real work takes real time, and Charge only
+// accounts the modeled duration so cost breakdowns remain available.
+package gofab
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"samsys/internal/fabric"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+// inboxCap bounds each node's message queue. Sends block when the
+// destination queue is full, which throttles runaway producers.
+const inboxCap = 1 << 16
+
+// Fab is a real-time in-process cluster.
+type Fab struct {
+	n        int
+	prof     machine.Profile
+	handler  fabric.Handler
+	inboxes  []chan fabric.Message
+	counters []stats.Counters
+	acct     [][]int64 // [node][cat] nanoseconds, guarded by node goroutine
+	mu       []sync.Mutex
+	start    time.Time
+	elapsed  sim.Time
+	ran      bool
+	done     atomicBool
+}
+
+// New creates an n-node in-process cluster. The profile is used only for
+// cost accounting defaults; execution runs at native speed.
+func New(prof machine.Profile, n int) *Fab {
+	if n < 1 {
+		panic("gofab: need at least one node")
+	}
+	f := &Fab{
+		n: n, prof: prof,
+		inboxes:  make([]chan fabric.Message, n),
+		counters: make([]stats.Counters, n),
+		acct:     make([][]int64, n),
+		mu:       make([]sync.Mutex, n),
+	}
+	for i := range f.inboxes {
+		f.inboxes[i] = make(chan fabric.Message, inboxCap)
+		f.acct[i] = make([]int64, stats.NumCat)
+	}
+	return f
+}
+
+// N returns the node count.
+func (f *Fab) N() int { return f.n }
+
+// Profile returns the machine profile used for accounting.
+func (f *Fab) Profile() machine.Profile { return f.prof }
+
+// SetHandler installs the message handler.
+func (f *Fab) SetHandler(h fabric.Handler) { f.handler = h }
+
+// Counters returns node i's counters. Safe to read after Run returns.
+func (f *Fab) Counters(node int) *stats.Counters { return &f.counters[node] }
+
+// Elapsed returns the wall-clock duration of the run.
+func (f *Fab) Elapsed() sim.Time { return f.elapsed }
+
+// Run launches one goroutine per node and returns when all complete.
+func (f *Fab) Run(app func(c fabric.Ctx)) error {
+	if f.ran {
+		return fmt.Errorf("gofab: Run called twice")
+	}
+	f.ran = true
+	f.done.Store(false)
+	f.start = time.Now()
+	var appWg, drainWg sync.WaitGroup
+	appWg.Add(f.n)
+	drainWg.Add(f.n)
+	for i := 0; i < f.n; i++ {
+		c := &ctx{fab: f, node: i}
+		go func() {
+			defer drainWg.Done()
+			app(c)
+			appWg.Done()
+			// Keep draining protocol messages until every app is done,
+			// so other nodes' fetches to this node still get served.
+			c.drainUntil(&f.done)
+		}()
+	}
+	appWg.Wait()
+	f.done.Store(true)
+	drainWg.Wait()
+	f.elapsed = sim.Time(time.Since(f.start))
+	return nil
+}
+
+// done flags the end of the run for the post-app drain loops.
+type atomicBool struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (b *atomicBool) Store(v bool) { b.mu.Lock(); b.v = v; b.mu.Unlock() }
+func (b *atomicBool) Load() bool   { b.mu.Lock(); defer b.mu.Unlock(); return b.v }
+
+// Report returns the cost breakdown accumulated by Charge calls.
+func (f *Fab) Report() []stats.NodeReport {
+	reports := make([]stats.NodeReport, f.n)
+	for i := 0; i < f.n; i++ {
+		r := stats.NodeReport{Node: i, Total: f.elapsed}
+		for c := 0; c < stats.NumCat; c++ {
+			r.Acct[c] = sim.Time(f.acct[i][c])
+		}
+		reports[i] = r
+	}
+	return reports
+}
+
+// ctx is one node's execution context; all its methods run on the node's
+// goroutine.
+type ctx struct {
+	fab  *Fab
+	node int
+}
+
+func (c *ctx) Node() int                 { return c.node }
+func (c *ctx) N() int                    { return c.fab.n }
+func (c *ctx) Profile() machine.Profile  { return c.fab.prof }
+func (c *ctx) Now() sim.Time             { return sim.Time(time.Since(c.fab.start)) }
+func (c *ctx) Counters() *stats.Counters { return &c.fab.counters[c.node] }
+
+// Charge accounts modeled time and polls the inbox; it does not sleep.
+func (c *ctx) Charge(cat int, d sim.Time) {
+	c.fab.acct[c.node][cat] += int64(d)
+	c.poll()
+}
+
+func (c *ctx) ChargeFlops(cat int, flops float64) {
+	c.Charge(cat, c.fab.prof.FlopTime(flops))
+}
+
+// Send delivers the message to the destination queue and polls.
+func (c *ctx) Send(dst, size int, payload any) {
+	if dst < 0 || dst >= c.fab.n {
+		panic(fmt.Sprintf("gofab: send to invalid node %d", dst))
+	}
+	cnt := c.Counters()
+	cnt.Messages++
+	cnt.BytesSent += int64(size)
+	m := fabric.Message{Src: c.node, Dst: dst, Size: size, Payload: payload}
+	for {
+		select {
+		case c.fab.inboxes[dst] <- m:
+			c.poll()
+			return
+		default:
+			// Destination full: service our own queue to avoid deadlock,
+			// then retry.
+			c.pollBlocking()
+		}
+	}
+}
+
+// poll handles all currently queued messages without blocking.
+func (c *ctx) poll() {
+	for {
+		select {
+		case m := <-c.fab.inboxes[c.node]:
+			c.fab.handler(c, m)
+		default:
+			return
+		}
+	}
+}
+
+// pollBlocking handles at least one message (or yields briefly).
+func (c *ctx) pollBlocking() {
+	select {
+	case m := <-c.fab.inboxes[c.node]:
+		c.fab.handler(c, m)
+	case <-time.After(50 * time.Microsecond):
+	}
+}
+
+// drainUntil keeps serving protocol messages after the app body returns,
+// until every node's app is done.
+func (c *ctx) drainUntil(done *atomicBool) {
+	for !done.Load() {
+		c.pollBlocking()
+	}
+}
+
+// NewEvent creates a one-shot event.
+func (c *ctx) NewEvent() fabric.Event { return &event{ch: make(chan struct{})} }
+
+// event is a channel-backed one-shot event.
+type event struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (e *event) Signal() { e.once.Do(func() { close(e.ch) }) }
+
+func (e *event) Done() bool {
+	select {
+	case <-e.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait services the node's inbox until the event fires, accounting the
+// blocked wall time to the given category.
+func (e *event) Wait(fc fabric.Ctx, reason int) {
+	c := fc.(*ctx)
+	start := time.Now()
+	for {
+		select {
+		case <-e.ch:
+			c.fab.acct[c.node][reason] += int64(time.Since(start))
+			return
+		case m := <-c.fab.inboxes[c.node]:
+			c.fab.handler(c, m)
+		}
+	}
+}
+
+var _ fabric.Fabric = (*Fab)(nil)
+var _ fabric.Ctx = (*ctx)(nil)

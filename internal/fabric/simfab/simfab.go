@@ -1,0 +1,200 @@
+// Package simfab implements the fabric on the deterministic virtual-time
+// simulation kernel, parameterized by a machine model. All experiment
+// results in this repository are produced on simfab.
+package simfab
+
+import (
+	"fmt"
+
+	"samsys/internal/fabric"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+// Fab is a simulated cluster. Create with New, install a handler, then
+// call Run exactly once.
+type Fab struct {
+	env      *sim.Env
+	prof     machine.Profile
+	n        int
+	handler  fabric.Handler
+	inboxes  []*sim.Mailbox
+	counters []stats.Counters
+	// linkFree enforces FIFO delivery per (src,dst) pair: a message may
+	// not arrive before the previous message on the same link.
+	linkFree [][]sim.Time
+	// outFree is when each node's outgoing DMA link frees (non-CPUSend
+	// machines).
+	outFree []sim.Time
+	elapsed sim.Time
+	ran     bool
+}
+
+// New creates a simulated cluster of n nodes of the given machine model.
+func New(prof machine.Profile, n int) *Fab {
+	if n < 1 {
+		panic("simfab: need at least one node")
+	}
+	f := &Fab{
+		env:      sim.NewEnv(n, stats.NumCat),
+		prof:     prof,
+		n:        n,
+		counters: make([]stats.Counters, n),
+		linkFree: make([][]sim.Time, n),
+	}
+	f.inboxes = make([]*sim.Mailbox, n)
+	f.outFree = make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		f.inboxes[i] = sim.NewMailbox(f.env)
+		f.linkFree[i] = make([]sim.Time, n)
+	}
+	return f
+}
+
+// N returns the number of nodes.
+func (f *Fab) N() int { return f.n }
+
+// Profile returns the machine model.
+func (f *Fab) Profile() machine.Profile { return f.prof }
+
+// SetHandler installs the per-node message handler.
+func (f *Fab) SetHandler(h fabric.Handler) { f.handler = h }
+
+// Counters returns node i's counters.
+func (f *Fab) Counters(node int) *stats.Counters { return &f.counters[node] }
+
+// Elapsed returns the virtual duration of the completed run.
+func (f *Fab) Elapsed() sim.Time { return f.elapsed }
+
+// Env exposes the underlying simulation environment (for tests).
+func (f *Fab) Env() *sim.Env { return f.env }
+
+// Run launches the application on every node and simulates to completion.
+func (f *Fab) Run(app func(c fabric.Ctx)) error {
+	if f.ran {
+		return fmt.Errorf("simfab: Run called twice")
+	}
+	f.ran = true
+	for i := 0; i < f.n; i++ {
+		node := i
+		host := f.env.Host(node)
+		hc := &ctx{fab: f, node: node}
+		f.env.SpawnDaemon(host, fmt.Sprintf("handler%d", node), func(p *sim.Proc) {
+			hc.proc = p
+			for {
+				m := f.inboxes[node].Get(p, stats.Wait).(fabric.Message)
+				p.Charge(stats.Msg, f.prof.RecvTime)
+				f.handler(hc, m)
+			}
+		})
+	}
+	for i := 0; i < f.n; i++ {
+		node := i
+		host := f.env.Host(node)
+		ac := &ctx{fab: f, node: node}
+		f.env.Spawn(host, fmt.Sprintf("app%d", node), func(p *sim.Proc) {
+			ac.proc = p
+			app(ac)
+		})
+	}
+	err := f.env.Run()
+	f.elapsed = f.env.Now()
+	return err
+}
+
+// Report returns the per-node cost breakdown of the run.
+func (f *Fab) Report() []stats.NodeReport {
+	reports := make([]stats.NodeReport, f.n)
+	for i := 0; i < f.n; i++ {
+		r := stats.NodeReport{Node: i, Total: f.elapsed}
+		for c := 0; c < stats.NumCat; c++ {
+			r.Acct[c] = f.env.Host(i).Accounted(c)
+		}
+		reports[i] = r
+	}
+	return reports
+}
+
+// ctx is one execution context (app process or handler) on a node.
+type ctx struct {
+	fab  *Fab
+	node int
+	proc *sim.Proc
+}
+
+func (c *ctx) Node() int                 { return c.node }
+func (c *ctx) N() int                    { return c.fab.n }
+func (c *ctx) Profile() machine.Profile  { return c.fab.prof }
+func (c *ctx) Now() sim.Time             { return c.fab.env.Now() }
+func (c *ctx) Counters() *stats.Counters { return &c.fab.counters[c.node] }
+
+func (c *ctx) Charge(cat int, d sim.Time) { c.proc.Charge(cat, d) }
+
+func (c *ctx) ChargeFlops(cat int, flops float64) {
+	c.proc.Charge(cat, c.fab.prof.FlopTime(flops))
+}
+
+func (c *ctx) Send(dst, size int, payload any) {
+	if dst < 0 || dst >= c.fab.n {
+		panic(fmt.Sprintf("simfab: send to invalid node %d", dst))
+	}
+	cnt := c.Counters()
+	cnt.Messages++
+	cnt.BytesSent += int64(size)
+	prof := c.fab.prof
+	c.proc.Charge(stats.Msg, prof.SendTime)
+	transfer := prof.TransferTime(size)
+	var arrive sim.Time
+	if prof.CPUSend {
+		// The processor pumps the data itself: the transfer occupies the
+		// CPU and the message enters the wire when the pump finishes.
+		c.proc.Charge(stats.Msg, transfer)
+		arrive = c.fab.env.Now() + prof.WireLatency()
+	} else {
+		// DMA/co-processor: the transfer serializes on the node's
+		// outgoing link while the CPU moves on.
+		now := c.fab.env.Now()
+		start := now
+		if f := c.fab.outFree[c.node]; f > start {
+			start = f
+		}
+		c.fab.outFree[c.node] = start + transfer
+		arrive = start + transfer + prof.WireLatency()
+	}
+	// FIFO per (src,dst) pair regardless of message size mix.
+	if last := c.fab.linkFree[c.node][dst]; arrive < last {
+		arrive = last
+	}
+	c.fab.linkFree[c.node][dst] = arrive
+	m := fabric.Message{Src: c.node, Dst: dst, Size: size, Payload: payload}
+	c.fab.env.At(arrive, func() { c.fab.inboxes[dst].Put(m) })
+}
+
+func (c *ctx) NewEvent() fabric.Event { return &event{} }
+
+// event is a one-shot simfab event.
+type event struct {
+	fired bool
+	wq    sim.WaitQueue
+}
+
+func (e *event) Wait(c fabric.Ctx, reason int) {
+	if e.fired {
+		return
+	}
+	e.wq.Wait(c.(*ctx).proc, reason)
+}
+
+func (e *event) Signal() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	e.wq.WakeAll()
+}
+
+func (e *event) Done() bool { return e.fired }
+
+var _ fabric.Fabric = (*Fab)(nil)
+var _ fabric.Ctx = (*ctx)(nil)

@@ -1,0 +1,180 @@
+package simfab
+
+import (
+	"fmt"
+	"testing"
+
+	"samsys/internal/fabric"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+)
+
+// echoHandler replies to "ping" with "pong" and signals events on "pong".
+func pingFab(t *testing.T, prof machine.Profile, payloadSize int) (rtt sim.Time) {
+	t.Helper()
+	f := New(prof, 2)
+	done := make(map[int]fabric.Event)
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+		switch m.Payload {
+		case "ping":
+			hc.Send(m.Src, payloadSize, "pong")
+		case "pong":
+			done[hc.Node()].Signal()
+		}
+	})
+	err := f.Run(func(c fabric.Ctx) {
+		if c.Node() != 0 {
+			return
+		}
+		ev := c.NewEvent()
+		done[0] = ev
+		start := c.Now()
+		c.Send(1, payloadSize, "ping")
+		ev.Wait(c, stats.Stall)
+		rtt = c.Now() - start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rtt
+}
+
+func TestRoundTripMatchesProfile(t *testing.T) {
+	// A zero-payload ping-pong should take approximately the profile's
+	// measured round-trip time (this is the Figure 3 validation).
+	for _, prof := range []machine.Profile{machine.CM5, machine.IPSC, machine.Paragon} {
+		rtt := pingFab(t, prof, 0)
+		// Within 25% of the measured figure.
+		lo := prof.RoundTrip * 3 / 4
+		hi := prof.RoundTrip * 5 / 4
+		if rtt < lo || rtt > hi {
+			t.Errorf("%s: simulated RTT %v, measured %v (outside 25%%)",
+				prof.Name, rtt, prof.RoundTrip)
+		}
+	}
+}
+
+func TestBandwidthLimitsLargeTransfers(t *testing.T) {
+	// Sending 1 MB on the CM-5 (8 MB/s) must take at least 125 ms.
+	rtt := pingFab(t, machine.CM5, 1<<20)
+	if rtt < 2*sim.Time(float64(1<<20)/8e6*1e9) {
+		t.Errorf("1MB round trip %v too fast for 8MB/s", rtt)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	// A large message followed by a small one on the same link must not
+	// be overtaken by the small one.
+	f := New(machine.CM5, 2)
+	var order []string
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+		order = append(order, m.Payload.(string))
+	})
+	err := f.Run(func(c fabric.Ctx) {
+		if c.Node() != 0 {
+			return
+		}
+		c.Send(1, 1<<20, "big")
+		c.Send(1, 1, "small")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[big small]" {
+		t.Errorf("delivery order = %v, want [big small]", order)
+	}
+}
+
+func TestCountersTrackMessages(t *testing.T) {
+	f := New(machine.CM5, 2)
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {})
+	err := f.Run(func(c fabric.Ctx) {
+		if c.Node() == 0 {
+			c.Send(1, 100, "a")
+			c.Send(1, 200, "b")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := f.Counters(0)
+	if cnt.Messages != 2 || cnt.BytesSent != 300 {
+		t.Errorf("counters = %d msgs / %d bytes, want 2 / 300", cnt.Messages, cnt.BytesSent)
+	}
+}
+
+func TestReportAccountsCharges(t *testing.T) {
+	f := New(machine.CM5, 2)
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {})
+	err := f.Run(func(c fabric.Ctx) {
+		c.ChargeFlops(stats.App, 5.5e6) // exactly 1 virtual second on CM-5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Report()
+	if len(rep) != 2 {
+		t.Fatalf("got %d node reports, want 2", len(rep))
+	}
+	for _, r := range rep {
+		if r.Acct[stats.App] < sim.Second-sim.Millisecond || r.Acct[stats.App] > sim.Second+sim.Millisecond {
+			t.Errorf("node %d app time %v, want ~1s", r.Node, r.Acct[stats.App])
+		}
+		if r.Pct(stats.App) < 95 {
+			t.Errorf("node %d app pct %.1f, want ~100", r.Node, r.Pct(stats.App))
+		}
+	}
+}
+
+func TestEventSignalBeforeWait(t *testing.T) {
+	f := New(machine.CM5, 1)
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {})
+	reached := false
+	err := f.Run(func(c fabric.Ctx) {
+		ev := c.NewEvent()
+		ev.Signal()
+		ev.Wait(c, stats.Stall) // must not block
+		reached = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Error("Wait after Signal blocked")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	f := New(machine.CM5, 1)
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {})
+	if err := f.Run(func(c fabric.Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(func(c fabric.Ctx) {}); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestDeterministicElapsed(t *testing.T) {
+	run := func() sim.Time {
+		f := New(machine.Paragon, 4)
+		f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+			if m.Payload == "ping" {
+				hc.Send(m.Src, 64, "pong")
+			}
+		})
+		if err := f.Run(func(c fabric.Ctx) {
+			for i := 0; i < 5; i++ {
+				c.Send((c.Node()+1)%c.N(), 64, "ping")
+				c.ChargeFlops(stats.App, 1e5)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return f.Elapsed()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic elapsed: %v vs %v", a, b)
+	}
+}

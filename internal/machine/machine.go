@@ -1,0 +1,205 @@
+// Package machine defines parameterized performance models of the five
+// hardware platforms evaluated in the paper (Figure 3): the Thinking
+// Machines CM-5, Intel iPSC/860, Intel Paragon, IBM SP1, and the Stanford
+// DASH multiprocessor.
+//
+// The measured machine characteristics (network bandwidth, one-way send
+// time, round-trip time) are taken directly from Figure 3. Effective
+// per-node floating-point rates are calibrated from the serial application
+// run times the paper reports (Figure 12), since the paper's codes achieve
+// far less than peak MFLOPS. Software cost parameters (address translation,
+// pack/unpack, message dispatch) are calibrated against the overhead
+// percentages in Figure 11.
+package machine
+
+import (
+	"fmt"
+
+	"samsys/internal/sim"
+)
+
+// Profile describes one machine model.
+type Profile struct {
+	Name       string
+	Processor  string
+	ClockMHz   float64
+	PeakMFLOPS float64 // peak double-precision MFLOPS (Figure 3)
+	EffMFLOPS  float64 // calibrated sustained rate for the paper's codes
+	ICacheKB   int
+	DCacheKB   int
+	Topology   string
+	MaxNodes   int // largest configuration reported in the paper
+
+	// Measured communication characteristics (Figure 3).
+	BandwidthMBs float64  // node-to-node bandwidth
+	SendTime     sim.Time // one-way message send CPU overhead
+	RoundTrip    sim.Time // round-trip message time
+
+	// Software/hardware cost parameters.
+	RecvTime  sim.Time // CPU overhead to receive and dispatch a message
+	AddrTrans sim.Time // software address translation per shared access
+	PackByte  sim.Time // pack cost per byte (charged again to unpack)
+	PackFixed sim.Time // fixed pack/unpack cost per item
+	Hardware  bool     // true for hardware DSM (DASH): no software layer
+
+	// CPUSend models machines whose processor pumps message data into
+	// the network itself (CM-5, iPSC/860, SP1): sending a message
+	// occupies the CPU for the full transfer time at the measured
+	// bandwidth. Machines with a message co-processor or DMA (Paragon,
+	// DASH) only pay the fixed send overhead; their data transfers
+	// serialize on the node's network link instead.
+	CPUSend bool
+}
+
+// WireLatency returns the network transit latency implied by the measured
+// round-trip, send and receive times. It is clamped to be non-negative
+// (on the SP1 the measured round trip is less than two send overheads
+// because sends overlap with network transit).
+func (p Profile) WireLatency() sim.Time {
+	w := p.RoundTrip/2 - p.SendTime - p.RecvTime
+	if w < sim.Microsecond {
+		w = sim.Microsecond
+	}
+	return w
+}
+
+// TransferTime returns the network occupancy of a message of size bytes:
+// size divided by the measured bandwidth.
+func (p Profile) TransferTime(size int) sim.Time {
+	if size <= 0 || p.BandwidthMBs <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size) / (p.BandwidthMBs * 1e6) * float64(sim.Second))
+}
+
+// DeliveryDelay returns the time between a send completing at the source
+// CPU and the message becoming available at the destination: wire latency
+// plus transfer time for the message size.
+func (p Profile) DeliveryDelay(size int) sim.Time {
+	return p.WireLatency() + p.TransferTime(size)
+}
+
+// FlopTime returns the virtual CPU time to execute the given number of
+// double-precision floating point operations at the machine's effective
+// rate.
+func (p Profile) FlopTime(flops float64) sim.Time {
+	if flops <= 0 {
+		return 0
+	}
+	return sim.Time(flops / (p.EffMFLOPS * 1e6) * float64(sim.Second))
+}
+
+// Cycles returns the virtual CPU time for generic (non-floating-point)
+// work expressed in machine cycles at the profile's clock rate.
+func (p Profile) Cycles(n float64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Time(n / (p.ClockMHz * 1e6) * float64(sim.Second))
+}
+
+// PackTime returns the CPU cost to pack (or unpack) an item of the given
+// size in bytes.
+func (p Profile) PackTime(size int) sim.Time {
+	return p.PackFixed + sim.Time(size)*p.PackByte
+}
+
+func (p Profile) String() string {
+	return fmt.Sprintf("%s (%s %.0fMHz, %.1f eff MFLOPS, %.1fMB/s, send %v, rt %v)",
+		p.Name, p.Processor, p.ClockMHz, p.EffMFLOPS, p.BandwidthMBs,
+		p.SendTime, p.RoundTrip)
+}
+
+// The five machine models of Figure 3. Effective MFLOPS are calibrated so
+// the relative serial run times of the three applications match Figure 12
+// (the Paragon is ~1.5x the CM-5, the iPSC/860 ~1.3x, the SP1 several
+// times faster with few nodes, DASH comparable to the CM-5).
+var (
+	// CM5 is the 64-processor Thinking Machines CM-5 (CMOST 7.3, CMMD 3.2).
+	// Vector units are not used, matching the paper.
+	CM5 = Profile{
+		Name: "CM-5", Processor: "Sparc", ClockMHz: 33,
+		PeakMFLOPS: 8, EffMFLOPS: 5.5,
+		ICacheKB: 64, DCacheKB: 64, Topology: "fat tree", MaxNodes: 64,
+		BandwidthMBs: 8, SendTime: 11 * sim.Microsecond, RoundTrip: 57 * sim.Microsecond,
+		RecvTime:  9 * sim.Microsecond,
+		AddrTrans: 6100 * sim.Nanosecond,
+		PackByte:  40 * sim.Nanosecond, PackFixed: 4 * sim.Microsecond,
+		CPUSend: true,
+	}
+
+	// IPSC is the 32-processor Intel iPSC/860.
+	IPSC = Profile{
+		Name: "iPSC/860", Processor: "i860", ClockMHz: 40,
+		PeakMFLOPS: 60, EffMFLOPS: 7.0,
+		ICacheKB: 4, DCacheKB: 8, Topology: "hypercube", MaxNodes: 32,
+		BandwidthMBs: 2.8, SendTime: 47 * sim.Microsecond, RoundTrip: 154 * sim.Microsecond,
+		RecvTime:  28 * sim.Microsecond,
+		AddrTrans: 3600 * sim.Nanosecond,
+		PackByte:  22 * sim.Nanosecond, PackFixed: 3 * sim.Microsecond,
+		CPUSend: true,
+	}
+
+	// Paragon is the 56-processor Intel Paragon (OSF 1.0.4, NX 1.2.1).
+	Paragon = Profile{
+		Name: "Paragon", Processor: "i860", ClockMHz: 50,
+		PeakMFLOPS: 75, EffMFLOPS: 8.5,
+		ICacheKB: 16, DCacheKB: 16, Topology: "mesh", MaxNodes: 56,
+		BandwidthMBs: 61, SendTime: 50 * sim.Microsecond, RoundTrip: 125 * sim.Microsecond,
+		RecvTime:  11 * sim.Microsecond,
+		AddrTrans: 3600 * sim.Nanosecond,
+		PackByte:  35 * sim.Nanosecond, PackFixed: 3 * sim.Microsecond,
+	}
+
+	// SP1 is the 16-processor IBM SP1.
+	SP1 = Profile{
+		Name: "SP1", Processor: "RS6000", ClockMHz: 62.5,
+		PeakMFLOPS: 125, EffMFLOPS: 24,
+		ICacheKB: 32, DCacheKB: 64, Topology: "multistage", MaxNodes: 16,
+		BandwidthMBs: 7, SendTime: 240 * sim.Microsecond, RoundTrip: 415 * sim.Microsecond,
+		RecvTime:  120 * sim.Microsecond,
+		AddrTrans: 2400 * sim.Nanosecond,
+		PackByte:  12 * sim.Nanosecond, PackFixed: 2 * sim.Microsecond,
+		CPUSend: true,
+	}
+
+	// DASH is the 48-processor Stanford DASH hardware shared-memory
+	// multiprocessor. Address translation, caching and communication are
+	// done in hardware without software overheads; remote cache misses
+	// cost a few microseconds.
+	DASH = Profile{
+		Name: "DASH", Processor: "R3000", ClockMHz: 33,
+		PeakMFLOPS: 10, EffMFLOPS: 6.0,
+		ICacheKB: 64, DCacheKB: 64, Topology: "bus/mesh", MaxNodes: 48,
+		BandwidthMBs: 120, SendTime: 1 * sim.Microsecond, RoundTrip: 6 * sim.Microsecond,
+		RecvTime:  1 * sim.Microsecond,
+		AddrTrans: 0,
+		PackByte:  0, PackFixed: 0,
+		Hardware: true,
+	}
+)
+
+// All lists every machine model, in the order the paper's figures use.
+var All = []Profile{CM5, IPSC, Paragon, SP1, DASH}
+
+// Distributed lists the distributed memory machines (those SAM targets;
+// excludes the hardware shared-memory DASH).
+var Distributed = []Profile{CM5, IPSC, Paragon, SP1}
+
+// ByName returns the profile with the given name (case-sensitive match on
+// Name, or the lowercase short forms cm5, ipsc, paragon, sp1, dash).
+func ByName(name string) (Profile, error) {
+	switch name {
+	case "CM-5", "cm5":
+		return CM5, nil
+	case "iPSC/860", "ipsc":
+		return IPSC, nil
+	case "Paragon", "paragon":
+		return Paragon, nil
+	case "SP1", "sp1":
+		return SP1, nil
+	case "DASH", "dash":
+		return DASH, nil
+	}
+	return Profile{}, fmt.Errorf("machine: unknown profile %q", name)
+}

@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"samsys/internal/sim"
+)
+
+func TestByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"cm5", "CM-5"}, {"CM-5", "CM-5"},
+		{"ipsc", "iPSC/860"}, {"paragon", "Paragon"},
+		{"sp1", "SP1"}, {"dash", "DASH"},
+	} {
+		p, err := ByName(tc.in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tc.in, err)
+		}
+		if p.Name != tc.want {
+			t.Errorf("ByName(%q).Name = %q, want %q", tc.in, p.Name, tc.want)
+		}
+	}
+	if _, err := ByName("cray"); err == nil {
+		t.Error("ByName(cray) should fail")
+	}
+}
+
+func TestFigure3Values(t *testing.T) {
+	// The measured characteristics must match Figure 3 exactly.
+	for _, tc := range []struct {
+		p    Profile
+		bw   float64
+		send sim.Time
+		rt   sim.Time
+	}{
+		{CM5, 8, 11 * sim.Microsecond, 57 * sim.Microsecond},
+		{IPSC, 2.8, 47 * sim.Microsecond, 154 * sim.Microsecond},
+		{Paragon, 61, 50 * sim.Microsecond, 125 * sim.Microsecond},
+		{SP1, 7, 240 * sim.Microsecond, 415 * sim.Microsecond},
+	} {
+		if tc.p.BandwidthMBs != tc.bw || tc.p.SendTime != tc.send || tc.p.RoundTrip != tc.rt {
+			t.Errorf("%s: got (%v MB/s, %v, %v), want (%v, %v, %v)",
+				tc.p.Name, tc.p.BandwidthMBs, tc.p.SendTime, tc.p.RoundTrip,
+				tc.bw, tc.send, tc.rt)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 8 MB at 8 MB/s takes one second.
+	got := CM5.TransferTime(8 << 20)
+	want := sim.Time(float64(8<<20) / 8e6 * 1e9)
+	if got != want {
+		t.Errorf("TransferTime(8MiB) = %v, want %v", got, want)
+	}
+	if CM5.TransferTime(0) != 0 || CM5.TransferTime(-5) != 0 {
+		t.Error("TransferTime of non-positive size should be 0")
+	}
+}
+
+func TestFlopTime(t *testing.T) {
+	// EffMFLOPS million flops takes exactly one second.
+	for _, p := range All {
+		got := p.FlopTime(p.EffMFLOPS * 1e6)
+		if diff := got - sim.Second; diff < -sim.Microsecond || diff > sim.Microsecond {
+			t.Errorf("%s: FlopTime(eff*1e6) = %v, want ~1s", p.Name, got)
+		}
+	}
+	if CM5.FlopTime(0) != 0 {
+		t.Error("FlopTime(0) should be 0")
+	}
+}
+
+func TestWireLatencyNonNegative(t *testing.T) {
+	for _, p := range All {
+		if p.WireLatency() < 0 {
+			t.Errorf("%s: negative wire latency %v", p.Name, p.WireLatency())
+		}
+	}
+	// SP1's round trip is smaller than two sends; must clamp, not go negative.
+	if SP1.WireLatency() < sim.Microsecond {
+		t.Errorf("SP1 wire latency %v below clamp", SP1.WireLatency())
+	}
+}
+
+func TestDeliveryMonotoneInSize(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sa, sb := int(a), int(b)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		for _, p := range All {
+			if p.DeliveryDelay(sa) > p.DeliveryDelay(sb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHardwareProfileHasNoSoftwareCosts(t *testing.T) {
+	if !DASH.Hardware {
+		t.Fatal("DASH should be marked Hardware")
+	}
+	if DASH.AddrTrans != 0 || DASH.PackTime(1024) != 0 {
+		t.Error("DASH must have zero software address translation and pack costs")
+	}
+}
+
+func TestPackTimeScalesWithSize(t *testing.T) {
+	small := CM5.PackTime(100)
+	big := CM5.PackTime(10000)
+	if big <= small {
+		t.Errorf("pack cost should grow with size: %v vs %v", small, big)
+	}
+	wantBig := CM5.PackFixed + 10000*CM5.PackByte
+	if big != wantBig {
+		t.Errorf("PackTime(10000) = %v, want %v", big, wantBig)
+	}
+}
+
+func TestRelativeSerialSpeeds(t *testing.T) {
+	// Figure 12 serial times imply Paragon > iPSC > CM-5 in effective
+	// speed, with SP1 fastest and DASH comparable to CM-5.
+	if !(Paragon.EffMFLOPS > IPSC.EffMFLOPS && IPSC.EffMFLOPS > CM5.EffMFLOPS) {
+		t.Error("effective MFLOPS ordering should be Paragon > iPSC > CM-5")
+	}
+	if SP1.EffMFLOPS <= Paragon.EffMFLOPS {
+		t.Error("SP1 should have the highest uniprocessor performance")
+	}
+}

@@ -1,0 +1,33 @@
+package octlib
+
+import "math/rand"
+
+// RandomBodies generates a deterministic, highly irregular (two-cluster,
+// radially weighted) body distribution of the kind the paper's 25000-body
+// simulation input uses. The same seed always yields the same bodies.
+func RandomBodies(n int, seed int64) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]Body, n)
+	for i := range bodies {
+		center := Vec3{0, 0, 0}
+		if i%3 == 0 {
+			center = Vec3{4, 4, 4}
+		}
+		r := rng.Float64()
+		bodies[i] = Body{
+			ID:   int32(i),
+			Mass: 1.0 / float64(n),
+			Pos: Vec3{
+				center[0] + r*rng.NormFloat64(),
+				center[1] + r*rng.NormFloat64(),
+				center[2] + r*rng.NormFloat64(),
+			},
+			Vel: Vec3{
+				rng.NormFloat64() * 0.01,
+				rng.NormFloat64() * 0.01,
+				rng.NormFloat64() * 0.01,
+			},
+		}
+	}
+	return bodies
+}

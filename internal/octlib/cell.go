@@ -1,0 +1,142 @@
+package octlib
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+// CellKind distinguishes leaves from internal cells.
+type CellKind uint8
+
+const (
+	// LeafCell holds bodies directly.
+	LeafCell CellKind = iota
+	// InternalCell has up to eight children.
+	InternalCell
+)
+
+// ChildSummary is the blocked-tree payload: enough information about a
+// child to run its opening test — and, for leaf children, to interact
+// with its bodies — without fetching the child's own cell. This is the
+// library's tree blocking (Section 4.2): fetching a cell brings a whole
+// block of nodes likely to be accessed next, at the cost of extra
+// bandwidth for children that are never opened.
+type ChildSummary struct {
+	Kind   CellKind
+	Mass   float64
+	COM    Vec3
+	Bodies []Body // populated for leaf children only
+}
+
+// Cell is the shared tree node managed by SAM: an accumulator while the
+// tree is being built (bodies inserted, leaves split), then a value for
+// the read-only center-of-mass and force phases.
+type Cell struct {
+	Path      Path
+	Kind      CellKind
+	Size      float64 // edge length of the cell cube
+	Bodies    []Body  // leaf payload
+	ChildMask uint8   // internal: which octants have children
+
+	// Filled by the center-of-mass phase.
+	Mass  float64
+	COM   Vec3
+	Count int32 // bodies under this cell
+
+	// Blocked-tree summaries (when the blocking option is on).
+	HasSummaries bool
+	Child        [8]ChildSummary
+}
+
+const bodyBytes = 8 + 8 + 3*8*3 // id+mass+pos/vel/acc
+const cellBaseBytes = 64
+
+// SizeBytes implements pack.Item.
+func (c *Cell) SizeBytes() int {
+	n := cellBaseBytes + bodyBytes*len(c.Bodies)
+	if c.HasSummaries {
+		for oct := 0; oct < 8; oct++ {
+			if c.ChildMask&(1<<oct) != 0 {
+				n += 40 + bodyBytes*len(c.Child[oct].Bodies)
+			}
+		}
+	}
+	return n
+}
+
+// Clone implements pack.Item with a deep copy.
+func (c *Cell) Clone() pack.Item {
+	cp := *c
+	cp.Bodies = append([]Body(nil), c.Bodies...)
+	for oct := range cp.Child {
+		cp.Child[oct].Bodies = append([]Body(nil), c.Child[oct].Bodies...)
+	}
+	return &cp
+}
+
+var _ pack.Item = (*Cell)(nil)
+
+// CellName maps a cell path (and tree version, typically the simulation
+// step) to a SAM name. Paths to MaxDepth=20 need 60 bits, split across
+// the name's X and Y fields.
+func CellName(tag uint8, version int, p Path) core.Name {
+	return core.Name{
+		Tag: tag,
+		X:   int32(p.Bits & 0x3fffffff),
+		Y:   int32(p.Bits >> 30),
+		Z:   p.Level | int32(version)<<6,
+	}
+}
+
+// HasChild reports whether octant oct is populated.
+func (c *Cell) HasChild(oct int) bool { return c.ChildMask&(1<<oct) != 0 }
+
+// BBoxItem is the shared bounding-box accumulator used to agree on the
+// root domain each step.
+type BBoxItem struct {
+	Lo, Hi Vec3
+	Init   bool
+}
+
+// SizeBytes implements pack.Item.
+func (b *BBoxItem) SizeBytes() int { return 56 }
+
+// Clone implements pack.Item.
+func (b *BBoxItem) Clone() pack.Item {
+	cp := *b
+	return &cp
+}
+
+// Merge folds the bounds of a set of bodies into the box.
+func (b *BBoxItem) Merge(bodies []Body) {
+	for _, bd := range bodies {
+		if !b.Init {
+			b.Lo, b.Hi = bd.Pos, bd.Pos
+			b.Init = true
+			continue
+		}
+		for d := 0; d < 3; d++ {
+			if bd.Pos[d] < b.Lo[d] {
+				b.Lo[d] = bd.Pos[d]
+			}
+			if bd.Pos[d] > b.Hi[d] {
+				b.Hi[d] = bd.Pos[d]
+			}
+		}
+	}
+}
+
+// Cube returns the padded cubic domain of the merged box.
+func (b *BBoxItem) Cube() Bounds {
+	size := 0.0
+	for d := 0; d < 3; d++ {
+		if s := b.Hi[d] - b.Lo[d]; s > size {
+			size = s
+		}
+	}
+	size *= 1.0001
+	if size == 0 {
+		size = 1
+	}
+	return Bounds{Min: b.Lo, Size: size}
+}

@@ -1,0 +1,173 @@
+package octlib
+
+import "math"
+
+// A complete local (shared-nothing) oct-tree implementation. The serial
+// Barnes-Hut baseline uses it directly; the message-passing baseline uses
+// it per-processor and exchanges pruned copies.
+
+// LocalCell is a node of a local oct-tree.
+type LocalCell struct {
+	Leaf     bool
+	Bodies   []Body // leaf payload
+	Children [8]*LocalCell
+	Mass     float64
+	COM      Vec3
+	Size     float64
+	Count    int // bodies under this cell
+}
+
+// LocalTree is an oct-tree over a cubic domain.
+type LocalTree struct {
+	Root    *LocalCell
+	Domain  Bounds
+	LeafCap int
+	Cells   int // number of cells allocated
+}
+
+// NewLocalTree creates an empty tree over the given domain. leafCap is
+// the number of bodies a leaf holds before splitting (1 in the classic
+// algorithm).
+func NewLocalTree(domain Bounds, leafCap int) *LocalTree {
+	if leafCap < 1 {
+		leafCap = 1
+	}
+	t := &LocalTree{Domain: domain, LeafCap: leafCap}
+	t.Root = &LocalCell{Leaf: true, Size: domain.Size}
+	t.Cells = 1
+	return t
+}
+
+// Insert adds a body to the tree.
+func (t *LocalTree) Insert(b Body) {
+	cell := t.Root
+	bounds := t.Domain
+	depth := 0
+	for {
+		cell.Count++
+		if cell.Leaf {
+			if len(cell.Bodies) < t.LeafCap || depth >= MaxDepth {
+				cell.Bodies = append(cell.Bodies, b)
+				return
+			}
+			// Split: push existing bodies down one level.
+			old := cell.Bodies
+			cell.Bodies = nil
+			cell.Leaf = false
+			for _, ob := range old {
+				oct, cb := bounds.Octant(ob.Pos)
+				child := cell.Children[oct]
+				if child == nil {
+					child = &LocalCell{Leaf: true, Size: cb.Size}
+					cell.Children[oct] = child
+					t.Cells++
+				}
+				child.Bodies = append(child.Bodies, ob)
+				child.Count++
+			}
+		}
+		oct, cb := bounds.Octant(b.Pos)
+		if cell.Children[oct] == nil {
+			cell.Children[oct] = &LocalCell{Leaf: true, Size: cb.Size}
+			t.Cells++
+		}
+		cell = cell.Children[oct]
+		bounds = cb
+		depth++
+	}
+}
+
+// ComputeCOM fills every cell's mass and center of mass bottom-up and
+// returns the number of combine operations (for work accounting).
+func (t *LocalTree) ComputeCOM() int {
+	ops := 0
+	var rec func(c *LocalCell)
+	rec = func(c *LocalCell) {
+		c.Mass = 0
+		var weighted Vec3
+		if c.Leaf {
+			for _, b := range c.Bodies {
+				c.Mass += b.Mass
+				weighted = weighted.Add(b.Pos.Scale(b.Mass))
+				ops++
+			}
+		} else {
+			for _, ch := range c.Children {
+				if ch == nil {
+					continue
+				}
+				rec(ch)
+				c.Mass += ch.Mass
+				weighted = weighted.Add(ch.COM.Scale(ch.Mass))
+				ops++
+			}
+		}
+		if c.Mass > 0 {
+			c.COM = weighted.Scale(1 / c.Mass)
+		}
+	}
+	rec(t.Root)
+	return ops
+}
+
+// ForceStats counts the work of force evaluations.
+type ForceStats struct {
+	Interactions int64 // body-cell and body-body interactions
+	Visits       int64 // cells visited (open tests)
+}
+
+// AccelOn computes the acceleration on a body at pos (excluding the body
+// with id self) with opening parameter theta.
+func (t *LocalTree) AccelOn(pos Vec3, self int32, theta float64, st *ForceStats) Vec3 {
+	var acc Vec3
+	var rec func(c *LocalCell)
+	rec = func(c *LocalCell) {
+		if c == nil || c.Count == 0 {
+			return
+		}
+		st.Visits++
+		if c.Leaf {
+			for _, b := range c.Bodies {
+				if b.ID == self {
+					continue
+				}
+				Accel(pos, b.Mass, b.Pos, &acc)
+				st.Interactions++
+			}
+			return
+		}
+		if Opens(pos, c.Size, c.COM, theta) {
+			for _, ch := range c.Children {
+				rec(ch)
+			}
+			return
+		}
+		Accel(pos, c.Mass, c.COM, &acc)
+		st.Interactions++
+	}
+	rec(t.Root)
+	return acc
+}
+
+// Advance applies one leapfrog step to a body given its new acceleration.
+func Advance(b *Body, acc Vec3, dt float64) {
+	// Velocity Verlet with the freshly computed acceleration.
+	b.Vel = b.Vel.Add(b.Acc.Add(acc).Scale(dt / 2))
+	b.Acc = acc
+	b.Pos = b.Pos.Add(b.Vel.Scale(dt)).Add(acc.Scale(dt * dt / 2))
+}
+
+// Energy returns the kinetic plus (pairwise, softened) potential energy
+// of the system; used to sanity-check simulations on small inputs.
+func Energy(bodies []Body) float64 {
+	e := 0.0
+	for i := range bodies {
+		e += 0.5 * bodies[i].Mass * bodies[i].Vel.Dot(bodies[i].Vel)
+		for j := i + 1; j < len(bodies); j++ {
+			d := bodies[i].Pos.Sub(bodies[j].Pos)
+			r := d.Dot(d) + Softening*Softening
+			e -= bodies[i].Mass * bodies[j].Mass / math.Sqrt(r)
+		}
+	}
+	return e
+}

@@ -1,0 +1,179 @@
+// Package octlib is the oct-tree library used by the Barnes-Hut
+// application (Section 4.2). It provides the geometry and cell machinery
+// shared by the serial and parallel versions — octant paths, cell naming,
+// the cell data items SAM manages, and a complete local (serial) oct-tree
+// implementation — plus the optional blocking of tree nodes, in which a
+// fetched cell carries summaries of its children so that a traversal only
+// communicates for cells it actually opens.
+package octlib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 [3]float64
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v[0] + w[0], v[1] + w[1], v[2] + w[2]} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v[0] - w[0], v[1] - w[1], v[2] - w[2]} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v[0] * s, v[1] * s, v[2] * s} }
+
+// Dot returns v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v[0]*w[0] + v[1]*w[1] + v[2]*w[2] }
+
+// Body is one particle.
+type Body struct {
+	ID   int32
+	Mass float64
+	Pos  Vec3
+	Vel  Vec3
+	Acc  Vec3
+}
+
+// Bounds is an axis-aligned cube (the Barnes-Hut root domain and every
+// cell are cubes).
+type Bounds struct {
+	Min  Vec3
+	Size float64
+}
+
+// CubeAround returns the smallest cube containing all bodies, slightly
+// padded.
+func CubeAround(bodies []Body) Bounds {
+	if len(bodies) == 0 {
+		return Bounds{Size: 1}
+	}
+	lo := bodies[0].Pos
+	hi := bodies[0].Pos
+	for _, b := range bodies[1:] {
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], b.Pos[d])
+			hi[d] = math.Max(hi[d], b.Pos[d])
+		}
+	}
+	size := 0.0
+	for d := 0; d < 3; d++ {
+		size = math.Max(size, hi[d]-lo[d])
+	}
+	size *= 1.0001
+	if size == 0 {
+		size = 1
+	}
+	return Bounds{Min: lo, Size: size}
+}
+
+// Octant returns which of the 8 children of bounds contains p, and the
+// child's bounds.
+func (b Bounds) Octant(p Vec3) (int, Bounds) {
+	half := b.Size / 2
+	oct := 0
+	child := Bounds{Min: b.Min, Size: half}
+	for d := 0; d < 3; d++ {
+		if p[d] >= b.Min[d]+half {
+			oct |= 1 << d
+			child.Min[d] += half
+		}
+	}
+	return oct, child
+}
+
+// Child returns the bounds of child octant oct.
+func (b Bounds) Child(oct int) Bounds {
+	half := b.Size / 2
+	child := Bounds{Min: b.Min, Size: half}
+	for d := 0; d < 3; d++ {
+		if oct&(1<<d) != 0 {
+			child.Min[d] += half
+		}
+	}
+	return child
+}
+
+// Path identifies a cell by its descent path from the root: level octant
+// choices packed three bits per level.
+type Path struct {
+	Level int32
+	Bits  uint64
+}
+
+// RootPath is the root cell's path.
+var RootPath = Path{}
+
+// Child returns the path of child octant oct.
+func (p Path) Child(oct int) Path {
+	return Path{Level: p.Level + 1, Bits: p.Bits | uint64(oct)<<(3*uint(p.Level))}
+}
+
+// Bounds returns the cell bounds of this path within the root domain.
+func (p Path) Bounds(root Bounds) Bounds {
+	b := root
+	for l := int32(0); l < p.Level; l++ {
+		b = b.Child(int(p.Bits >> (3 * uint(l)) & 7))
+	}
+	return b
+}
+
+func (p Path) String() string { return fmt.Sprintf("L%d:%o", p.Level, p.Bits) }
+
+// MaxDepth bounds tree depth; a leaf at MaxDepth accepts any number of
+// bodies (guards against coincident particles).
+const MaxDepth = 20
+
+// MortonKey returns an interleaved-bit space filling key for partitioning
+// bodies with spatial locality (the parallel version's body partitioning,
+// Section 4.2 / [25]).
+func MortonKey(root Bounds, p Vec3, levels int) uint64 {
+	var key uint64
+	b := root
+	for l := 0; l < levels; l++ {
+		oct, child := b.Octant(p)
+		key = key<<3 | uint64(oct)
+		b = child
+	}
+	return key
+}
+
+// --- interaction kernels and their operation counts ---
+
+// Gravitational softening used by all force evaluations.
+const Softening = 1e-4
+
+// FlopsPerInteraction is the flop charge of one body-cell or body-body
+// interaction (distance, opening test arithmetic amortized, accumulate).
+const FlopsPerInteraction = 28
+
+// FlopsPerVisit is the flop charge of visiting (open-testing) a cell.
+const FlopsPerVisit = 10
+
+// FlopsPerCOM is the flop charge of combining one child into a parent's
+// center of mass.
+const FlopsPerCOM = 12
+
+// FlopsPerAdvance is the flop charge of one body's leapfrog update.
+const FlopsPerAdvance = 24
+
+// Accel accumulates into acc the gravitational pull on a body at pos from
+// a point mass m at q, with Plummer softening.
+func Accel(pos Vec3, m float64, q Vec3, acc *Vec3) {
+	d := q.Sub(pos)
+	r2 := d.Dot(d) + Softening*Softening
+	r := math.Sqrt(r2)
+	f := m / (r2 * r)
+	acc[0] += d[0] * f
+	acc[1] += d[1] * f
+	acc[2] += d[2] * f
+}
+
+// Opens reports whether a cell of the given size at center-of-mass com
+// must be opened when evaluated from pos under opening parameter theta
+// (the classic size/distance criterion).
+func Opens(pos Vec3, size float64, com Vec3, theta float64) bool {
+	d := com.Sub(pos)
+	return size*size > theta*theta*d.Dot(d)
+}

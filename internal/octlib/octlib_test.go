@@ -1,0 +1,279 @@
+package octlib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samsys/internal/pack"
+)
+
+func TestOctantPartitionsCube(t *testing.T) {
+	f := func(px, py, pz uint16) bool {
+		b := Bounds{Min: Vec3{0, 0, 0}, Size: 1}
+		p := Vec3{float64(px) / 65536, float64(py) / 65536, float64(pz) / 65536}
+		oct, cb := b.Octant(p)
+		if oct < 0 || oct > 7 {
+			return false
+		}
+		for d := 0; d < 3; d++ {
+			if p[d] < cb.Min[d] || p[d] >= cb.Min[d]+cb.Size+1e-12 {
+				return false
+			}
+		}
+		return cb.Size == 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathChildRoundTrip(t *testing.T) {
+	root := Bounds{Min: Vec3{0, 0, 0}, Size: 8}
+	p := RootPath
+	b := root
+	for _, oct := range []int{3, 5, 0, 7, 2} {
+		p = p.Child(oct)
+		b = b.Child(oct)
+	}
+	got := p.Bounds(root)
+	if got != b {
+		t.Errorf("Path.Bounds = %+v, want %+v", got, b)
+	}
+	if p.Level != 5 {
+		t.Errorf("level = %d, want 5", p.Level)
+	}
+}
+
+func TestTreeInsertCountsBodies(t *testing.T) {
+	bodies := RandomBodies(200, 1)
+	tr := NewLocalTree(CubeAround(bodies), 1)
+	for _, b := range bodies {
+		tr.Insert(b)
+	}
+	if tr.Root.Count != 200 {
+		t.Errorf("root count = %d, want 200", tr.Root.Count)
+	}
+	// Every body must be findable at its leaf.
+	var walk func(c *LocalCell) int
+	walk = func(c *LocalCell) int {
+		if c == nil {
+			return 0
+		}
+		n := len(c.Bodies)
+		for _, ch := range c.Children {
+			n += walk(ch)
+		}
+		return n
+	}
+	if got := walk(tr.Root); got != 200 {
+		t.Errorf("bodies in leaves = %d, want 200", got)
+	}
+}
+
+func TestCOMMatchesTotalMass(t *testing.T) {
+	bodies := RandomBodies(100, 2)
+	tr := NewLocalTree(CubeAround(bodies), 1)
+	totalMass := 0.0
+	var weighted Vec3
+	for _, b := range bodies {
+		tr.Insert(b)
+		totalMass += b.Mass
+		weighted = weighted.Add(b.Pos.Scale(b.Mass))
+	}
+	tr.ComputeCOM()
+	if math.Abs(tr.Root.Mass-totalMass) > 1e-12 {
+		t.Errorf("root mass = %g, want %g", tr.Root.Mass, totalMass)
+	}
+	want := weighted.Scale(1 / totalMass)
+	d := tr.Root.COM.Sub(want)
+	if math.Sqrt(d.Dot(d)) > 1e-9 {
+		t.Errorf("root COM = %v, want %v", tr.Root.COM, want)
+	}
+}
+
+func TestThetaZeroIsExactNBody(t *testing.T) {
+	// With theta=0 every cell opens, so the tree force equals the direct
+	// O(N^2) sum.
+	bodies := RandomBodies(60, 3)
+	tr := NewLocalTree(CubeAround(bodies), 1)
+	for _, b := range bodies {
+		tr.Insert(b)
+	}
+	tr.ComputeCOM()
+	var st ForceStats
+	for _, b := range bodies {
+		got := tr.AccelOn(b.Pos, b.ID, 0, &st)
+		var want Vec3
+		for _, o := range bodies {
+			if o.ID == b.ID {
+				continue
+			}
+			Accel(b.Pos, o.Mass, o.Pos, &want)
+		}
+		d := got.Sub(want)
+		if math.Sqrt(d.Dot(d)) > 1e-9 {
+			t.Fatalf("body %d: tree %v direct %v", b.ID, got, want)
+		}
+	}
+}
+
+func TestLargerThetaReducesWork(t *testing.T) {
+	bodies := RandomBodies(500, 4)
+	tr := NewLocalTree(CubeAround(bodies), 1)
+	for _, b := range bodies {
+		tr.Insert(b)
+	}
+	tr.ComputeCOM()
+	work := func(theta float64) int64 {
+		var st ForceStats
+		for _, b := range bodies {
+			tr.AccelOn(b.Pos, b.ID, theta, &st)
+		}
+		return st.Interactions
+	}
+	exact := work(0)
+	approx := work(1.0)
+	if approx >= exact/2 {
+		t.Errorf("theta=1 interactions %d not much less than exact %d", approx, exact)
+	}
+}
+
+func TestTreeForceApproximatesDirect(t *testing.T) {
+	bodies := RandomBodies(300, 5)
+	tr := NewLocalTree(CubeAround(bodies), 1)
+	for _, b := range bodies {
+		tr.Insert(b)
+	}
+	tr.ComputeCOM()
+	var st ForceStats
+	var sumSq float64
+	const sample = 40
+	for _, b := range bodies[:sample] {
+		got := tr.AccelOn(b.Pos, b.ID, 0.8, &st)
+		var want Vec3
+		for _, o := range bodies {
+			if o.ID != b.ID {
+				Accel(b.Pos, o.Mass, o.Pos, &want)
+			}
+		}
+		rel := math.Sqrt(got.Sub(want).Dot(got.Sub(want))) /
+			(math.Sqrt(want.Dot(want)) + 1e-12)
+		sumSq += rel * rel
+		// Individual bodies can see O(10%) error at theta=0.8; only a
+		// gross error indicates a bug.
+		if rel > 0.5 {
+			t.Fatalf("body %d: relative force error %g too large", b.ID, rel)
+		}
+	}
+	if rms := math.Sqrt(sumSq / sample); rms > 0.05 {
+		t.Errorf("rms relative force error %g, want < 0.05", rms)
+	}
+}
+
+func TestCellItemCloneIsolated(t *testing.T) {
+	c := &Cell{Kind: LeafCell, Bodies: []Body{{ID: 1, Mass: 2}}}
+	cp := c.Clone().(*Cell)
+	cp.Bodies[0].Mass = 99
+	if c.Bodies[0].Mass != 2 {
+		t.Error("Clone shares body storage")
+	}
+	if c.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+}
+
+func TestCellNameUniquePerPath(t *testing.T) {
+	seen := make(map[[4]int32]Path)
+	var rec func(p Path, depth int)
+	rec = func(p Path, depth int) {
+		n := CellName(7, 3, p)
+		k := [4]int32{int32(n.Tag), n.X, n.Y, n.Z}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("name collision: %v and %v", prev, p)
+		}
+		seen[k] = p
+		if depth == 0 {
+			return
+		}
+		for oct := 0; oct < 8; oct++ {
+			rec(p.Child(oct), depth-1)
+		}
+	}
+	rec(RootPath, 3)
+	// Different versions must not collide either.
+	if CellName(7, 1, RootPath) == CellName(7, 2, RootPath) {
+		t.Error("versions collide")
+	}
+}
+
+func TestDeepPathNameUnique(t *testing.T) {
+	// Paths at MaxDepth must still be distinguishable.
+	a, b := RootPath, RootPath
+	for i := 0; i < MaxDepth; i++ {
+		a = a.Child(7)
+		b = b.Child(6)
+	}
+	if CellName(7, 0, a) == CellName(7, 0, b) {
+		t.Error("deep paths collide")
+	}
+}
+
+func TestBBoxItem(t *testing.T) {
+	var bb BBoxItem
+	bb.Merge([]Body{{Pos: Vec3{1, 2, 3}}, {Pos: Vec3{-1, 5, 0}}})
+	cube := bb.Cube()
+	if cube.Min != (Vec3{-1, 2, 0}) {
+		t.Errorf("cube min = %v", cube.Min)
+	}
+	if cube.Size < 3 {
+		t.Errorf("cube size = %g, want >= 3", cube.Size)
+	}
+	cp := bb.Clone().(*BBoxItem)
+	cp.Lo[0] = -100
+	if bb.Lo[0] != -1 {
+		t.Error("BBox clone shares storage")
+	}
+	var empty BBoxItem
+	if empty.Cube().Size <= 0 {
+		t.Error("empty box cube must have positive size")
+	}
+}
+
+func TestMortonKeyLocality(t *testing.T) {
+	root := Bounds{Min: Vec3{0, 0, 0}, Size: 1}
+	near1 := MortonKey(root, Vec3{0.1, 0.1, 0.1}, 8)
+	near2 := MortonKey(root, Vec3{0.11, 0.1, 0.1}, 8)
+	far := MortonKey(root, Vec3{0.9, 0.9, 0.9}, 8)
+	d12 := near1 ^ near2
+	dfar := near1 ^ far
+	if d12 >= dfar {
+		t.Errorf("morton keys do not reflect locality: %x %x", d12, dfar)
+	}
+}
+
+func TestEnergyConservedOverStep(t *testing.T) {
+	// One small leapfrog step with exact forces conserves energy to
+	// first order.
+	bodies := RandomBodies(40, 6)
+	e0 := Energy(bodies)
+	tr := NewLocalTree(CubeAround(bodies), 1)
+	for _, b := range bodies {
+		tr.Insert(b)
+	}
+	tr.ComputeCOM()
+	var st ForceStats
+	accs := make([]Vec3, len(bodies))
+	for i, b := range bodies {
+		accs[i] = tr.AccelOn(b.Pos, b.ID, 0, &st)
+	}
+	for i := range bodies {
+		Advance(&bodies[i], accs[i], 1e-4)
+	}
+	e1 := Energy(bodies)
+	if math.Abs(e1-e0) > 1e-3*math.Abs(e0)+1e-9 {
+		t.Errorf("energy drifted: %g -> %g", e0, e1)
+	}
+}
+
+var _ pack.Item = (*BBoxItem)(nil)

@@ -1,0 +1,159 @@
+package pack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesClone(t *testing.T) {
+	b := Bytes{1, 2, 3}
+	c := b.Clone().(Bytes)
+	c[0] = 99
+	if b[0] != 1 {
+		t.Error("Clone did not deep-copy")
+	}
+	if b.SizeBytes() != 3 {
+		t.Errorf("SizeBytes = %d, want 3", b.SizeBytes())
+	}
+}
+
+func TestFloat64sClone(t *testing.T) {
+	f := Float64s{1.5, 2.5}
+	c := f.Clone().(Float64s)
+	c[1] = 0
+	if f[1] != 2.5 {
+		t.Error("Clone did not deep-copy")
+	}
+	if f.SizeBytes() != 16 {
+		t.Errorf("SizeBytes = %d, want 16", f.SizeBytes())
+	}
+}
+
+func TestIntsClone(t *testing.T) {
+	v := Ints{7, 8}
+	c := v.Clone().(Ints)
+	c[0] = 0
+	if v[0] != 7 {
+		t.Error("Clone did not deep-copy")
+	}
+}
+
+type tree struct {
+	Val      int
+	Children []*tree
+	Label    string
+	Weights  map[string]float64
+}
+
+func sampleTree() *tree {
+	return &tree{
+		Val:   1,
+		Label: "root",
+		Children: []*tree{
+			{Val: 2, Label: "left", Weights: map[string]float64{"w": 0.5}},
+			{Val: 3, Label: "right"},
+		},
+	}
+}
+
+func TestDeepCopyHierarchical(t *testing.T) {
+	orig := sampleTree()
+	cp := DeepCopy(orig).(*tree)
+	cp.Children[0].Val = 99
+	cp.Children[0].Weights["w"] = 9.9
+	cp.Label = "changed"
+	if orig.Children[0].Val != 2 || orig.Children[0].Weights["w"] != 0.5 || orig.Label != "root" {
+		t.Error("DeepCopy shares structure with the original")
+	}
+}
+
+func TestDeepCopyNil(t *testing.T) {
+	if DeepCopy(nil) != nil {
+		t.Error("DeepCopy(nil) != nil")
+	}
+	var p *tree
+	c := DeepCopy(p).(*tree)
+	if c != nil {
+		t.Error("nil pointer should copy to nil")
+	}
+}
+
+func TestSizeOfAccountsAllFields(t *testing.T) {
+	// tree struct: Val(8) + Children slice hdr(8) + Label(8+len) + map hdr(8)
+	leaf := &tree{Val: 1, Label: "ab"}
+	// ptr(8) + [8 + 8 + (8+2) + 8] = 8 + 34 = 42
+	if got := SizeOf(leaf); got != 42 {
+		t.Errorf("SizeOf(leaf) = %d, want 42", got)
+	}
+	if SizeOf(nil) != 0 {
+		t.Error("SizeOf(nil) != 0")
+	}
+}
+
+func TestValueItemRoundTrip(t *testing.T) {
+	v := Value{V: sampleTree()}
+	c := v.Clone().(Value)
+	ct := c.V.(*tree)
+	ct.Children[1].Val = -1
+	if sample := v.V.(*tree); sample.Children[1].Val != 3 {
+		t.Error("Value.Clone shares structure")
+	}
+	if v.SizeBytes() <= 0 {
+		t.Error("Value.SizeBytes should be positive")
+	}
+}
+
+func TestDeepCopyPropertySlices(t *testing.T) {
+	// Property: deep copy of a slice of slices equals the original and
+	// shares no memory.
+	f := func(data [][]int64) bool {
+		cp := DeepCopy(data)
+		if data == nil {
+			return cp == nil
+		}
+		c := cp.([][]int64)
+		if len(c) != len(data) {
+			return false
+		}
+		for i := range data {
+			if len(c[i]) != len(data[i]) {
+				return false
+			}
+			for j := range data[i] {
+				if c[i][j] != data[i][j] {
+					return false
+				}
+			}
+			if len(data[i]) > 0 {
+				c[i][0]++
+				if data[i][0] == c[i][0] {
+					return false // shared backing array
+				}
+				c[i][0]--
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeOfPropertyMonotone(t *testing.T) {
+	// Property: appending an element never shrinks the size.
+	f := func(data []int32, extra int32) bool {
+		return SizeOf(append(append([]int32{}, data...), extra)) > SizeOf(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepCopyPanicsOnChan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for chan")
+		}
+	}()
+	DeepCopy(make(chan int))
+}

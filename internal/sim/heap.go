@@ -1,0 +1,61 @@
+package sim
+
+// event is a scheduled kernel callback.
+type event struct {
+	t   Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (t, seq). It is hand-rolled
+// rather than using container/heap to avoid interface allocation on the
+// simulation hot path.
+type eventHeap []event
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	*h = s[:n]
+	s = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s) && s[l].less(s[least]) {
+			least = l
+		}
+		if r < len(s) && s[r].less(s[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}
+
+func (a event) less(b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}

@@ -1,0 +1,86 @@
+package sim
+
+// WaitQueue is a FIFO queue of processes waiting for a condition. Waking is
+// always mediated by the kernel, so WakeOne/WakeAll may be called from
+// process or kernel context.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Wait suspends p until it is woken. The blocked interval is accounted to
+// the reason category (see Proc.Block).
+func (q *WaitQueue) Wait(p *Proc, reason int) {
+	q.waiters = append(q.waiters, p)
+	p.Block(reason)
+}
+
+// WakeOne wakes the longest-waiting process, if any, and reports whether a
+// process was woken.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	p.Unblock()
+	return true
+}
+
+// WakeAll wakes every waiting process.
+func (q *WaitQueue) WakeAll() {
+	for _, p := range q.waiters {
+		p.Unblock()
+	}
+	q.waiters = nil
+}
+
+// Len returns the number of waiting processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Mailbox is an unbounded FIFO message queue with blocking receive.
+// Messages may be enqueued immediately or after a delivery delay, which is
+// how the network fabric models wire latency.
+type Mailbox struct {
+	env *Env
+	q   []any
+	wq  WaitQueue
+}
+
+// NewMailbox creates a mailbox bound to an environment.
+func NewMailbox(env *Env) *Mailbox { return &Mailbox{env: env} }
+
+// Put enqueues a message at the current virtual time.
+func (m *Mailbox) Put(x any) {
+	m.q = append(m.q, x)
+	m.wq.WakeOne()
+}
+
+// PutAfter enqueues a message after a delivery delay d.
+func (m *Mailbox) PutAfter(d Time, x any) {
+	m.env.After(d, func() { m.Put(x) })
+}
+
+// TryGet dequeues a message if one is available.
+func (m *Mailbox) TryGet() (any, bool) {
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	x := m.q[0]
+	m.q[0] = nil
+	m.q = m.q[1:]
+	return x, true
+}
+
+// Get dequeues a message, blocking the calling process until one is
+// available. Blocked time is accounted to category reason.
+func (m *Mailbox) Get(p *Proc, reason int) any {
+	for {
+		if x, ok := m.TryGet(); ok {
+			return x
+		}
+		m.wq.Wait(p, reason)
+	}
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.q) }

@@ -1,0 +1,356 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// used to model distributed memory machines.
+//
+// Simulated processes run as goroutines, but the kernel is strictly
+// sequential: at any instant exactly one of the kernel or a single process
+// is executing, and control is handed off explicitly. Virtual time advances
+// only when the kernel dispatches the next event. Given deterministic
+// process code, entire simulations are bit-for-bit reproducible.
+//
+// Processes are placed on hosts. A host models a single CPU: time charged
+// with Proc.Charge is serialized through the host so that two processes on
+// the same host never compute simultaneously in virtual time. Charges are
+// accounted per category, which higher layers use to reproduce the paper's
+// cost breakdown (idle / message / stall / address translation / pack).
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a virtual time instant or duration in nanoseconds.
+type Time int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a float64 number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// SecondsOf converts a Time to float64 seconds.
+func SecondsOf(t Time) float64 { return float64(t) / float64(Second) }
+
+// String formats the time in seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", SecondsOf(t)) }
+
+// Env is a simulation environment: an event queue, virtual clock, and a set
+// of hosts. An Env is not safe for concurrent use; all interaction must
+// happen either before Run, from process code, or from event callbacks.
+type Env struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	hosts   []*Host
+	numCats int
+
+	yield   chan struct{} // process -> kernel handoff
+	parked  map[*Proc]struct{}
+	stopped bool
+	fault   *procFault
+}
+
+// procFault carries a panic out of a process goroutine so it can be
+// re-raised on the caller of Run (making application faults testable).
+type procFault struct {
+	proc *Proc
+	val  any
+}
+
+// NewEnv creates an environment with the given number of hosts. Charges are
+// accounted in numCats categories (see Proc.Charge).
+func NewEnv(numHosts, numCats int) *Env {
+	e := &Env{
+		numCats: numCats,
+		yield:   make(chan struct{}),
+		parked:  make(map[*Proc]struct{}),
+	}
+	e.hosts = make([]*Host, numHosts)
+	for i := range e.hosts {
+		e.hosts[i] = &Host{ID: i, env: e, acct: make([]Time, numCats), blocked: make(map[*Proc]*blockInfo)}
+	}
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Hosts returns the number of hosts.
+func (e *Env) Hosts() int { return len(e.hosts) }
+
+// Host returns host i.
+func (e *Env) Host(i int) *Host { return e.hosts[i] }
+
+// At schedules fn to run in kernel context at time t. Scheduling in the past
+// panics: events are causal.
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.heap.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run in kernel context after duration d.
+func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Spawn starts a new process on host h running fn. The process begins
+// executing at the current virtual time (once the kernel dispatches it).
+func (e *Env) Spawn(h *Host, name string, fn func(p *Proc)) *Proc {
+	return e.spawn(h, name, fn, false)
+}
+
+// SpawnDaemon starts a process that is expected to block forever (such as a
+// message handler loop). Daemon processes do not count as deadlocked when
+// the event queue drains, and are forcibly unwound when Run returns.
+func (e *Env) SpawnDaemon(h *Host, name string, fn func(p *Proc)) *Proc {
+	return e.spawn(h, name, fn, true)
+}
+
+func (e *Env) spawn(h *Host, name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{env: e, host: h, name: name, daemon: daemon, resume: make(chan struct{})}
+	e.At(e.now, func() {
+		go p.run(fn)
+		p.dispatch()
+	})
+	return p
+}
+
+type procKilled struct{}
+
+// run is the top of a process goroutine: it waits for its first dispatch,
+// runs the body, and hands control back to the kernel when the body returns
+// or the process is killed during shutdown.
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procKilled); ok {
+				// Unwound during Env shutdown; the kernel is waiting in
+				// kill(), so hand control back and vanish quietly.
+				p.env.yield <- struct{}{}
+				return
+			}
+			// Application fault: record it and hand control back; the
+			// kernel re-raises it on the goroutine that called Run.
+			p.env.fault = &procFault{proc: p, val: r}
+			p.done = true
+			p.env.yield <- struct{}{}
+			return
+		}
+	}()
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+	fn(p)
+	p.done = true
+	p.env.yield <- struct{}{}
+}
+
+// dispatch resumes p and waits until it parks, exits, or is unwound.
+// Must be called from kernel context.
+func (p *Proc) dispatch() {
+	p.resume <- struct{}{}
+	<-p.env.yield
+}
+
+// Run dispatches events until the queue is empty, then unwinds any daemon
+// processes. It returns an error if non-daemon processes remain parked
+// (a deadlock in the simulated program).
+func (e *Env) Run() error {
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		e.now = ev.t
+		ev.fn()
+		if f := e.fault; f != nil {
+			e.shutdown()
+			panic(fmt.Sprintf("%v (in process %s on host %d)", f.val, f.proc.name, f.proc.host.ID))
+		}
+	}
+	var stuck []string
+	for p := range e.parked {
+		if !p.daemon {
+			stuck = append(stuck, fmt.Sprintf("%s (host %d, %s)", p.name, p.host.ID, blockReasonName(p.blockReason)))
+		}
+	}
+	e.shutdown()
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return fmt.Errorf("sim: deadlock, %d process(es) never resumed: %v", len(stuck), stuck)
+	}
+	return nil
+}
+
+// shutdown unwinds every parked process so no goroutines are leaked.
+func (e *Env) shutdown() {
+	e.stopped = true
+	for p := range e.parked {
+		p.kill()
+	}
+	e.parked = map[*Proc]struct{}{}
+}
+
+func (p *Proc) kill() {
+	p.killed = true
+	p.resume <- struct{}{}
+	<-p.env.yield
+}
+
+// Proc is a simulated process.
+type Proc struct {
+	env    *Env
+	host   *Host
+	name   string
+	daemon bool
+	done   bool
+	killed bool
+	resume chan struct{}
+
+	blockReason int
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Host returns the host the process runs on.
+func (p *Proc) Host() *Host { return p.host }
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// park yields control to the kernel until another event resumes p.
+// Must be called from p's own goroutine.
+func (p *Proc) park() {
+	p.env.parked[p] = struct{}{}
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// unpark schedules p to resume at the current virtual time.
+// Must be called from kernel or process context.
+func (p *Proc) unpark() {
+	delete(p.env.parked, p)
+	p.env.At(p.env.now, p.dispatch)
+}
+
+// Sleep suspends the process for duration d of virtual time without
+// occupying the host CPU.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.env.After(d, p.dispatch)
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Charge occupies the host CPU for duration d, accounted to category cat.
+// If the CPU is busy with another process's charge, execution is delayed
+// until it frees. Charge returns at the virtual time the work completes.
+func (p *Proc) Charge(cat int, d Time) {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	if d == 0 {
+		return
+	}
+	h := p.host
+	start := p.env.now
+	if h.cpuFree > start {
+		start = h.cpuFree
+	}
+	end := start + d
+	h.cpuFree = end
+	h.acct[cat] += d
+	// Processes blocked on this host were not "really" waiting while the
+	// CPU served this charge; record the overlap so stall/idle accounting
+	// can exclude it (the paper's stall time excludes message service).
+	for bp, bi := range h.blocked {
+		if bp != p {
+			bi.overlap += d
+		}
+	}
+	p.env.At(end, p.dispatch)
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// blockInfo tracks one blocked process for stall/idle accounting.
+type blockInfo struct {
+	start   Time
+	reason  int
+	overlap Time // CPU time spent on the host while this proc was blocked
+}
+
+// Block parks the process until some other event calls Unblock. The blocked
+// interval, minus any CPU time spent on the host during it, is charged to
+// category reason when the process resumes.
+func (p *Proc) Block(reason int) {
+	h := p.host
+	bi := &blockInfo{start: p.env.now, reason: reason}
+	h.blocked[p] = bi
+	p.blockReason = reason
+	p.park()
+	delete(h.blocked, p)
+	p.blockReason = 0
+	waited := p.env.now - bi.start - bi.overlap
+	if waited < 0 {
+		waited = 0
+	}
+	h.acct[reason] += waited
+}
+
+// Unblock schedules a process previously suspended with Block to resume at
+// the current virtual time. It must be called from kernel or process
+// context, and exactly once per Block.
+func (p *Proc) Unblock() { p.unpark() }
+
+var blockNames = map[int]string{}
+
+// RegisterBlockName associates a human-readable name with a block reason
+// category, used in deadlock reports.
+func RegisterBlockName(reason int, name string) { blockNames[reason] = name }
+
+func blockReasonName(reason int) string {
+	if n, ok := blockNames[reason]; ok {
+		return n
+	}
+	return fmt.Sprintf("reason %d", reason)
+}
+
+// Host models a single CPU on which processes run.
+type Host struct {
+	ID      int
+	env     *Env
+	cpuFree Time
+	acct    []Time
+	blocked map[*Proc]*blockInfo
+}
+
+// Accounted returns the total virtual time accounted to category cat on
+// this host.
+func (h *Host) Accounted(cat int) Time { return h.acct[cat] }
+
+// ResetAccounting zeroes all per-category accounting on the host.
+func (h *Host) ResetAccounting() {
+	for i := range h.acct {
+		h.acct[i] = 0
+	}
+}

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	catWork = iota
+	catWait
+	numCats
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEnv(1, numCats)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.At(10, func() { got = append(got, 11) }) // same instant: FIFO
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("event order = %v, want %v", got, want)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time = %v, want 30", e.Now())
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	// Property: popping all events yields nondecreasing (t, seq) order.
+	f := func(times []int16) bool {
+		var h eventHeap
+		var seq uint64
+		for _, ti := range times {
+			tt := Time(ti)
+			if tt < 0 {
+				tt = -tt
+			}
+			seq++
+			h.push(event{t: tt, seq: seq})
+		}
+		var prev event
+		first := true
+		for len(h) > 0 {
+			ev := h.pop()
+			if !first && ev.less(prev) {
+				return false
+			}
+			prev, first = ev, false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSleepAdvancesTime(t *testing.T) {
+	e := NewEnv(1, numCats)
+	var woke Time
+	e.Spawn(e.Host(0), "sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		p.Sleep(7 * Microsecond)
+		woke = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 12*Microsecond {
+		t.Errorf("woke at %v, want 12µs", woke)
+	}
+}
+
+func TestChargeSerializesHostCPU(t *testing.T) {
+	e := NewEnv(2, numCats)
+	var end1, end2, end3 Time
+	h0 := e.Host(0)
+	e.Spawn(h0, "a", func(p *Proc) {
+		p.Charge(catWork, 10*Microsecond)
+		end1 = p.Now()
+	})
+	e.Spawn(h0, "b", func(p *Proc) {
+		p.Charge(catWork, 10*Microsecond)
+		end2 = p.Now()
+	})
+	// A process on another host runs truly in parallel.
+	e.Spawn(e.Host(1), "c", func(p *Proc) {
+		p.Charge(catWork, 10*Microsecond)
+		end3 = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end1 != 10*Microsecond {
+		t.Errorf("first charge ended at %v, want 10µs", end1)
+	}
+	if end2 != 20*Microsecond {
+		t.Errorf("second charge on same host ended at %v, want 20µs (serialized)", end2)
+	}
+	if end3 != 10*Microsecond {
+		t.Errorf("charge on other host ended at %v, want 10µs (parallel)", end3)
+	}
+	if got := h0.Accounted(catWork); got != 20*Microsecond {
+		t.Errorf("host 0 accounted %v work, want 20µs", got)
+	}
+}
+
+func TestBlockUnblockAndAccounting(t *testing.T) {
+	e := NewEnv(1, numCats)
+	var blocked *Proc
+	var resumeAt Time
+	blocked = e.Spawn(e.Host(0), "waiter", func(p *Proc) {
+		p.Block(catWait)
+		resumeAt = p.Now()
+	})
+	e.At(50*Microsecond, func() { blocked.Unblock() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumeAt != 50*Microsecond {
+		t.Errorf("resumed at %v, want 50µs", resumeAt)
+	}
+	if got := e.Host(0).Accounted(catWait); got != 50*Microsecond {
+		t.Errorf("wait accounted %v, want 50µs", got)
+	}
+}
+
+func TestBlockedOverlapExcluded(t *testing.T) {
+	// While one process is blocked, another process charges CPU on the
+	// same host; the charged time must be excluded from the blocked
+	// process's wait accounting (the paper's stall-time definition).
+	e := NewEnv(1, numCats)
+	h := e.Host(0)
+	var waiter *Proc
+	waiter = e.Spawn(h, "waiter", func(p *Proc) {
+		p.Block(catWait)
+	})
+	e.Spawn(h, "handler", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		p.Charge(catWork, 30*Microsecond)
+		waiter.Unblock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Blocked 0..40µs, but 30µs of that was CPU service: pure wait is 10µs.
+	if got := h.Accounted(catWait); got != 10*Microsecond {
+		t.Errorf("wait accounted %v, want 10µs", got)
+	}
+	if got := h.Accounted(catWork); got != 30*Microsecond {
+		t.Errorf("work accounted %v, want 30µs", got)
+	}
+}
+
+func TestMailboxBlockingGet(t *testing.T) {
+	e := NewEnv(2, numCats)
+	mb := NewMailbox(e)
+	var got any
+	var at Time
+	e.Spawn(e.Host(0), "consumer", func(p *Proc) {
+		got = mb.Get(p, catWait)
+		at = p.Now()
+	})
+	e.Spawn(e.Host(1), "producer", func(p *Proc) {
+		p.Sleep(25 * Microsecond)
+		mb.Put("hello")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" || at != 25*Microsecond {
+		t.Errorf("got %v at %v, want hello at 25µs", got, at)
+	}
+}
+
+func TestMailboxPutAfterDelay(t *testing.T) {
+	e := NewEnv(1, numCats)
+	mb := NewMailbox(e)
+	var at Time
+	e.Spawn(e.Host(0), "consumer", func(p *Proc) {
+		mb.Get(p, catWait)
+		at = p.Now()
+	})
+	mb.PutAfter(100*Microsecond, 42)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100*Microsecond {
+		t.Errorf("message received at %v, want 100µs", at)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	e := NewEnv(1, numCats)
+	mb := NewMailbox(e)
+	var got []any
+	e.Spawn(e.Host(0), "consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Get(p, catWait))
+		}
+	})
+	mb.Put(1)
+	mb.Put(2)
+	mb.Put(3)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Errorf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEnv(1, numCats)
+	e.Spawn(e.Host(0), "stuck", func(p *Proc) {
+		p.Block(catWait) // never unblocked
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+func TestDaemonNotDeadlock(t *testing.T) {
+	e := NewEnv(1, numCats)
+	e.SpawnDaemon(e.Host(0), "server", func(p *Proc) {
+		mb := NewMailbox(e)
+		for {
+			mb.Get(p, catWait) // waits forever
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("daemon wrongly reported as deadlock: %v", err)
+	}
+}
+
+func TestDaemonUnwoundCleanly(t *testing.T) {
+	// A daemon holding a deferred cleanup must have it run on shutdown.
+	e := NewEnv(1, numCats)
+	cleaned := false
+	e.SpawnDaemon(e.Host(0), "server", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Block(catWait)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Error("daemon deferred cleanup did not run on shutdown")
+	}
+}
+
+func TestWaitQueueFIFOWake(t *testing.T) {
+	e := NewEnv(3, numCats)
+	var q WaitQueue
+	var order []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		e.Spawn(e.Host(i), name, func(p *Proc) {
+			q.Wait(p, catWait)
+			order = append(order, p.Name())
+		})
+	}
+	e.At(10, func() { q.WakeOne() })
+	e.At(20, func() { q.WakeAll() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[w0 w1 w2]" {
+		t.Errorf("wake order = %v, want [w0 w1 w2]", order)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The same randomized program produces the identical trace twice.
+	runOnce := func(seed int64) []Time {
+		e := NewEnv(4, numCats)
+		rng := rand.New(rand.NewSource(seed))
+		mb := NewMailbox(e)
+		var trace []Time
+		for i := 0; i < 4; i++ {
+			h := e.Host(i)
+			d := Time(rng.Intn(100)) * Microsecond
+			e.Spawn(h, fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				p.Charge(catWork, Time(rng.Intn(50))*Microsecond)
+				mb.Put(p.Name())
+				trace = append(trace, p.Now())
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := runOnce(7), runOnce(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("replay diverged: %v vs %v", a, b)
+	}
+}
+
+func TestChargePropertyTotalAccounted(t *testing.T) {
+	// Property: for arbitrary charge durations on a single host, the
+	// accounted total equals the sum of the charges and the final CPU-free
+	// time equals that sum (full serialization, no gaps when all start at 0).
+	f := func(raw []uint8) bool {
+		e := NewEnv(1, numCats)
+		h := e.Host(0)
+		var sum Time
+		for i, r := range raw {
+			if i >= 8 {
+				break
+			}
+			d := Time(r) * Microsecond
+			sum += d
+			e.Spawn(h, fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Charge(catWork, d)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return h.Accounted(catWork) == sum && h.cpuFree == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEnv(1, numCats)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetAccounting(t *testing.T) {
+	e := NewEnv(1, numCats)
+	e.Spawn(e.Host(0), "p", func(p *Proc) { p.Charge(catWork, Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Host(0).ResetAccounting()
+	if e.Host(0).Accounted(catWork) != 0 {
+		t.Error("accounting not reset")
+	}
+}
+
+func TestProcPanicSurfacesOnRun(t *testing.T) {
+	e := NewEnv(1, numCats)
+	e.Spawn(e.Host(0), "boom", func(p *Proc) {
+		p.Sleep(Microsecond)
+		panic("application fault")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("fault did not propagate to Run caller")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "application fault") || !strings.Contains(s, "boom") {
+			t.Errorf("fault message = %v", r)
+		}
+	}()
+	_ = e.Run()
+}

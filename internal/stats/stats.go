@@ -1,0 +1,191 @@
+// Package stats defines the time-accounting categories and per-processor
+// counters used to reproduce the paper's parallelization and communication
+// cost figures (Figures 5, 7, 9, 10, 11, 13).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"samsys/internal/sim"
+)
+
+// Time-accounting categories. These correspond directly to the segments in
+// Figure 10 of the paper:
+//
+//	App    – useful application work (the serial algorithm's work)
+//	Idle   – waiting because of lack of work (task queues, barriers)
+//	Msg    – sending messages and responding to incoming messages
+//	Stall  – waiting for data from a remote processor, excluding time
+//	         spent serving incoming messages (subtracted by the kernel)
+//	Addr   – software address translation: hash lookup and LRU management
+//	Pack   – packing/unpacking non-contiguous data items for transfer
+//	Extra  – extra computation done by the parallel algorithm that the
+//	         serial algorithm does not do ("unaccounted" in the paper)
+//	Wait   – handler-loop quiescence; not CPU time, never reported
+const (
+	App = iota
+	Idle
+	Msg
+	Stall
+	Addr
+	Pack
+	Extra
+	Wait
+	NumCat
+)
+
+// CatName returns the human-readable name of a category.
+func CatName(cat int) string {
+	switch cat {
+	case App:
+		return "app"
+	case Idle:
+		return "idle"
+	case Msg:
+		return "message"
+	case Stall:
+		return "stall"
+	case Addr:
+		return "addr-trans"
+	case Pack:
+		return "pack/unpack"
+	case Extra:
+		return "extra-work"
+	case Wait:
+		return "wait"
+	}
+	return fmt.Sprintf("cat%d", cat)
+}
+
+func init() {
+	for c := 0; c < NumCat; c++ {
+		sim.RegisterBlockName(c, CatName(c))
+	}
+}
+
+// Counters holds per-processor event counts maintained by the SAM runtime.
+type Counters struct {
+	SharedAccesses  int64 // Begin* operations on shared data
+	RemoteAccesses  int64 // accesses that required communication (cache miss)
+	CacheHits       int64 // accesses satisfied from the local cache
+	ChaoticHits     int64 // chaotic reads satisfied by a stale local copy
+	Messages        int64 // messages sent
+	BytesSent       int64 // payload bytes sent
+	DataMessages    int64 // messages that carried a data item
+	DataBytes       int64 // payload bytes of data-carrying messages
+	ValueCreates    int64 // values created
+	ValueUses       int64 // value use operations
+	ProdConsWaits   int64 // uses that blocked waiting for an uncreated value
+	AccumAcquires   int64 // accumulator exclusive acquisitions
+	AccumMigrations int64 // acquisitions that migrated the accumulator
+	Renames         int64 // rename operations
+	Pushes          int64 // push operations
+	Prefetches      int64 // asynchronous fetches issued
+	Barriers        int64 // barrier episodes this processor participated in
+	Invalidations   int64 // invalidation messages (non-chaotic mode)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.SharedAccesses += other.SharedAccesses
+	c.RemoteAccesses += other.RemoteAccesses
+	c.CacheHits += other.CacheHits
+	c.ChaoticHits += other.ChaoticHits
+	c.Messages += other.Messages
+	c.BytesSent += other.BytesSent
+	c.DataMessages += other.DataMessages
+	c.DataBytes += other.DataBytes
+	c.ValueCreates += other.ValueCreates
+	c.ValueUses += other.ValueUses
+	c.ProdConsWaits += other.ProdConsWaits
+	c.AccumAcquires += other.AccumAcquires
+	c.AccumMigrations += other.AccumMigrations
+	c.Renames += other.Renames
+	c.Pushes += other.Pushes
+	c.Prefetches += other.Prefetches
+	c.Barriers += other.Barriers
+	c.Invalidations += other.Invalidations
+}
+
+// NodeReport is the cost breakdown for one processor over a run.
+type NodeReport struct {
+	Node  int
+	Total sim.Time         // elapsed run time
+	Acct  [NumCat]sim.Time // accounted time per category
+}
+
+// Pct returns the percentage of the node's elapsed time in category cat.
+func (r NodeReport) Pct(cat int) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Acct[cat]) / float64(r.Total)
+}
+
+// Unaccounted returns elapsed time not covered by any category (the paper's
+// "unaccounted time": extra parallel work plus measurement slop).
+func (r NodeReport) Unaccounted() sim.Time {
+	sum := sim.Time(0)
+	for c := 0; c < NumCat; c++ {
+		if c == Wait {
+			continue
+		}
+		sum += r.Acct[c]
+	}
+	u := r.Total - sum
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// Breakdown summarizes cost percentages across all processors, giving the
+// average and the min–max range per category as in Figure 11.
+type Breakdown struct {
+	Nodes []NodeReport
+}
+
+// Avg returns the mean percentage for category cat across processors.
+func (b Breakdown) Avg(cat int) float64 {
+	if len(b.Nodes) == 0 {
+		return 0
+	}
+	var s float64
+	for _, n := range b.Nodes {
+		s += n.Pct(cat)
+	}
+	return s / float64(len(b.Nodes))
+}
+
+// Range returns the minimum and maximum percentage for category cat.
+func (b Breakdown) Range(cat int) (lo, hi float64) {
+	if len(b.Nodes) == 0 {
+		return 0, 0
+	}
+	lo, hi = b.Nodes[0].Pct(cat), b.Nodes[0].Pct(cat)
+	for _, n := range b.Nodes[1:] {
+		p := n.Pct(cat)
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return lo, hi
+}
+
+// Row formats one Figure 11 style row: "avg (lo-hi)" for each of the five
+// reported overhead categories.
+func (b Breakdown) Row() string {
+	var sb strings.Builder
+	for i, cat := range []int{Idle, Msg, Stall, Addr, Pack} {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		lo, hi := b.Range(cat)
+		fmt.Fprintf(&sb, "%s %.1f (%.1f-%.1f)%%", CatName(cat), b.Avg(cat), lo, hi)
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"samsys/internal/sim"
+)
+
+func TestCatNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := 0; c < NumCat; c++ {
+		n := CatName(c)
+		if n == "" || seen[n] {
+			t.Errorf("category %d has empty or duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	if !strings.HasPrefix(CatName(99), "cat") {
+		t.Error("unknown category should have fallback name")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{SharedAccesses: 5, Messages: 2, Barriers: 1, DataBytes: 100}
+	b := Counters{SharedAccesses: 3, Messages: 4, Pushes: 7, DataBytes: 11}
+	a.Add(&b)
+	if a.SharedAccesses != 8 || a.Messages != 6 || a.Pushes != 7 || a.Barriers != 1 || a.DataBytes != 111 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestNodeReportPct(t *testing.T) {
+	r := NodeReport{Total: 100 * sim.Second}
+	r.Acct[App] = 50 * sim.Second
+	r.Acct[Idle] = 25 * sim.Second
+	if r.Pct(App) != 50 || r.Pct(Idle) != 25 {
+		t.Errorf("pcts = %v %v", r.Pct(App), r.Pct(Idle))
+	}
+	if u := r.Unaccounted(); u != 25*sim.Second {
+		t.Errorf("unaccounted = %v, want 25s", u)
+	}
+	var zero NodeReport
+	if zero.Pct(App) != 0 {
+		t.Error("zero-total report should have 0 pct")
+	}
+}
+
+func TestUnaccountedExcludesWaitCategory(t *testing.T) {
+	r := NodeReport{Total: 10 * sim.Second}
+	r.Acct[Wait] = 9 * sim.Second // handler quiescence: not CPU time
+	if u := r.Unaccounted(); u != 10*sim.Second {
+		t.Errorf("unaccounted = %v, want full 10s (Wait ignored)", u)
+	}
+}
+
+func TestBreakdownAvgAndRange(t *testing.T) {
+	mk := func(appPct float64) NodeReport {
+		r := NodeReport{Total: 100 * sim.Second}
+		r.Acct[App] = sim.Time(appPct) * sim.Second
+		return r
+	}
+	b := Breakdown{Nodes: []NodeReport{mk(10), mk(30), mk(20)}}
+	if avg := b.Avg(App); avg != 20 {
+		t.Errorf("avg = %v, want 20", avg)
+	}
+	lo, hi := b.Range(App)
+	if lo != 10 || hi != 30 {
+		t.Errorf("range = %v-%v, want 10-30", lo, hi)
+	}
+	var empty Breakdown
+	if empty.Avg(App) != 0 {
+		t.Error("empty breakdown avg should be 0")
+	}
+	if !strings.Contains(b.Row(), "idle") {
+		t.Error("Row should mention categories")
+	}
+}
+
+func TestBreakdownProperties(t *testing.T) {
+	// Property: for any accounted times, avg lies within [lo, hi] and
+	// percentages never exceed 100 when accounting fits in the total.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		var nodes []NodeReport
+		for _, v := range raw {
+			r := NodeReport{Total: 100 * sim.Second}
+			r.Acct[Msg] = sim.Time(v%101) * sim.Second
+			nodes = append(nodes, r)
+		}
+		b := Breakdown{Nodes: nodes}
+		lo, hi := b.Range(Msg)
+		avg := b.Avg(Msg)
+		return lo <= avg+1e-9 && avg <= hi+1e-9 && hi <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

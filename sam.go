@@ -1,0 +1,69 @@
+// Package sam is the public facade of the SAM shared object system for
+// distributed memory machines (Scales & Lam, OSDI '94).
+//
+// SAM provides a global name space over a set of shared-nothing nodes and
+// automatic caching of shared data. All shared data are either values —
+// single-assignment: created once, immutable thereafter, with reads that
+// wait for creation — or accumulators — mutually exclusive data that
+// migrates in turn to the processors that update it. Synchronization is
+// tied to data access, and the runtime offers explicit communication
+// optimizations: pushing values to the processors that will need them,
+// asynchronous (pre-)fetching, chaotic access to recent-but-possibly-stale
+// accumulator snapshots, and in-place renaming that reuses the storage of
+// consumed values.
+//
+// A minimal program:
+//
+//	fab := simfab.New(machine.CM5, 8)      // simulated 8-node CM-5
+//	world := sam.NewWorld(fab, sam.Options{})
+//	err := world.Run(func(c *sam.Ctx) {    // SPMD: runs on every node
+//		name := sam.N1(1, 0)
+//		if c.Node() == 0 {
+//			c.CreateValue(name, pack.Ints{42}, sam.UsesUnlimited)
+//		}
+//		v := c.BeginUseValue(name).(pack.Ints) // waits, fetches, caches
+//		_ = v[0]
+//		c.EndUseValue(name)
+//	})
+//
+// The implementation lives in internal/core; this package re-exports the
+// API. The runtime runs on any fabric implementation: the deterministic
+// virtual-time cluster in internal/fabric/simfab models the paper's five
+// machines and produces all experiment results.
+package sam
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/fabric"
+	"samsys/internal/pack"
+)
+
+// World is a SAM runtime spanning all nodes of a fabric.
+type World = core.World
+
+// Ctx is a processor's handle to the runtime.
+type Ctx = core.Ctx
+
+// Options are runtime policy switches (caching, pushes, chaotic access).
+type Options = core.Options
+
+// Name identifies a shared data item in the global name space.
+type Name = core.Name
+
+// Item is a shared data item (sized, deep-copyable).
+type Item = pack.Item
+
+// Fabric is the execution and communication substrate the runtime runs
+// on; see internal/fabric for the contract and implementations.
+type Fabric = fabric.Fabric
+
+// UsesUnlimited declares a value's access count as not known in advance.
+const UsesUnlimited = core.UsesUnlimited
+
+// NewWorld creates the runtime on a fabric.
+func NewWorld(fab Fabric, opts Options) *World { return core.NewWorld(fab, opts) }
+
+// N1, N2 and N3 build names from a type tag and up to three indices.
+func N1(tag uint8, x int) Name       { return core.N1(tag, x) }
+func N2(tag uint8, x, y int) Name    { return core.N2(tag, x, y) }
+func N3(tag uint8, x, y, z int) Name { return core.N3(tag, x, y, z) }
