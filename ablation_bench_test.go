@@ -119,3 +119,82 @@ func BenchmarkAblationChaoticMaxAge(b *testing.B) {
 	}
 	b.Log("\n" + sb.String())
 }
+
+// BenchmarkAblationTraceOverhead quantifies the cost of the tracing
+// subsystem on a Barnes-Hut run: with tracing off (the nil-check fast
+// path), with the recorder on, and with the recorder plus the online
+// invariant checker. Tracing must never perturb the simulated machine:
+// the virtual elapsed time is asserted identical in all three modes; the
+// b.ReportMetric wall-clock columns show the host-side recording cost.
+func BenchmarkAblationTraceOverhead(b *testing.B) {
+	bodies := octlib.RandomBodies(2000, 7)
+	p := barneshut.Params{Steps: 1, Theta: 1.0}
+	run := func(b *testing.B, traced, checked bool) {
+		var elapsed sim.Time
+		var events int
+		for i := 0; i < b.N; i++ {
+			fab := simfab.New(machine.CM5, 16)
+			opts := core.Options{}
+			var checker *TraceChecker
+			if traced {
+				opts.Trace = NewTraceRecorder()
+				if checked {
+					checker = NewTraceChecker(nil)
+					checker.Attach(opts.Trace)
+				}
+				fab.SetTracer(opts.Trace)
+			}
+			res, err := barneshut.Run(fab, opts, barneshut.Config{
+				Bodies: bodies, Params: p, Blocking: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if checker != nil {
+				if err := checker.Finish(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if elapsed == 0 {
+				elapsed = res.Elapsed
+			} else if res.Elapsed != elapsed {
+				b.Fatalf("virtual time changed across iterations: %v vs %v", res.Elapsed, elapsed)
+			}
+			if traced {
+				events = opts.Trace.Len()
+			}
+		}
+		b.ReportMetric(float64(elapsed), "virtual-ns")
+		b.ReportMetric(float64(events), "events")
+	}
+	var base sim.Time
+	b.Run("off", func(b *testing.B) {
+		fab := simfab.New(machine.CM5, 16)
+		res, err := barneshut.Run(fab, core.Options{},
+			barneshut.Config{Bodies: bodies, Params: p, Blocking: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = res.Elapsed
+		run(b, false, false)
+	})
+	for _, mode := range []struct {
+		name            string
+		traced, checked bool
+	}{{"recorder", true, false}, {"recorder+checker", true, true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			fab := simfab.New(machine.CM5, 16)
+			opts := core.Options{Trace: NewTraceRecorder()}
+			fab.SetTracer(opts.Trace)
+			res, err := barneshut.Run(fab, opts,
+				barneshut.Config{Bodies: bodies, Params: p, Blocking: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if base != 0 && res.Elapsed != base {
+				b.Fatalf("tracing perturbed virtual time: %v traced vs %v untraced", res.Elapsed, base)
+			}
+			run(b, mode.traced, mode.checked)
+		})
+	}
+}

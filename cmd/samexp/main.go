@@ -7,7 +7,15 @@
 //	samexp -all                     # all experiments
 //	samexp -all -scale full         # paper-scale inputs (slow)
 //	samexp -exp fig6 -machines cm5,paragon -procs 1,8,32
+//	samexp -exp fig4 -machine cm5 -trace out.json
 //	samexp -list
+//
+// With -trace, every simulated run is recorded as a stream of protocol
+// events: the online invariant checker validates the stream as it is
+// produced (any violation aborts the command), and the merged stream is
+// written to the given file as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. A "-" suffix on the file
+// name is not special; use "-trace /dev/stdout" to inspect inline.
 package main
 
 import (
@@ -20,16 +28,19 @@ import (
 
 	"samsys/internal/exp"
 	"samsys/internal/machine"
+	"samsys/internal/trace"
 )
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "experiment id (fig2..fig14)")
-		all      = flag.Bool("all", false, "run every experiment")
-		list     = flag.Bool("list", false, "list experiments")
-		scale    = flag.String("scale", "quick", "workload scale: quick or full")
-		machines = flag.String("machines", "", "comma-separated machine subset (cm5,ipsc,paragon,sp1,dash)")
-		procs    = flag.String("procs", "", "comma-separated processor counts")
+		expID     = flag.String("exp", "", "experiment id (fig2..fig14)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiments")
+		scale     = flag.String("scale", "quick", "workload scale: quick or full")
+		machines  = flag.String("machines", "", "comma-separated machine subset (cm5,ipsc,paragon,sp1,dash)")
+		oneMach   = flag.String("machine", "", "single machine (shorthand for -machines with one entry)")
+		procs     = flag.String("procs", "", "comma-separated processor counts")
+		traceFile = flag.String("trace", "", "record event traces to this file (Chrome trace-event JSON) with the invariant checker enabled")
 	)
 	flag.Parse()
 
@@ -50,8 +61,15 @@ func main() {
 	default:
 		fatalf("unknown scale %q", *scale)
 	}
-	if *machines != "" {
-		for _, name := range strings.Split(*machines, ",") {
+	machNames := *machines
+	if *oneMach != "" {
+		if machNames != "" {
+			machNames += ","
+		}
+		machNames += *oneMach
+	}
+	if machNames != "" {
+		for _, name := range strings.Split(machNames, ",") {
 			prof, err := machine.ByName(strings.TrimSpace(name))
 			if err != nil {
 				fatalf("%v", err)
@@ -67,6 +85,13 @@ func main() {
 			}
 			opts.Procs = append(opts.Procs, p)
 		}
+	}
+
+	var checker *trace.Checker
+	if *traceFile != "" {
+		opts.Trace = trace.New()
+		checker = trace.NewChecker(fatalf)
+		checker.Attach(opts.Trace)
 	}
 
 	var ids []string
@@ -91,6 +116,28 @@ func main() {
 		}
 		fmt.Println(rep)
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if opts.Trace != nil {
+		if err := checker.Finish(); err != nil {
+			fatalf("%v", err)
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		events := opts.Trace.Events()
+		if err := trace.WriteChromeTrace(f, events); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		msg := fmt.Sprintf("samexp: wrote %d events to %s (invariant checker passed)", len(events), *traceFile)
+		if d := opts.Trace.Dropped(); d > 0 {
+			msg += fmt.Sprintf("; %d oldest events dropped to ring capacity", d)
+		}
+		fmt.Println(msg)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"samsys/internal/fabric"
 	"samsys/internal/stats"
+	"samsys/internal/trace"
 )
 
 // --- application-side operations ---
@@ -22,6 +23,7 @@ func (c *Ctx) CreateAccum(name Name, item Item) {
 		owner: true, next: -1, fetched: c.fc.Now(),
 	}
 	rt.cache.insert(e)
+	rt.ev(trace.EvAccCreate, name, -1, int64(e.size), 0)
 	rt.send(c.fc, name.home(rt.n), smallMsgSize,
 		msgAccCreated{name: name, owner: rt.node})
 }
@@ -47,6 +49,7 @@ func (c *Ctx) BeginUpdateAccum(name Name) Item {
 		e.busy = true
 		cnt.CacheHits++
 		rt.cache.reindex(e)
+		rt.ev(trace.EvAccAcquire, name, -1, int64(e.size), 1)
 		return e.item
 	}
 	cnt.RemoteAccesses++
@@ -54,6 +57,7 @@ func (c *Ctx) BeginUpdateAccum(name Name) Item {
 	if rt.acqWait[name] != nil {
 		rt.protoErr("BeginUpdateAccum(%v): acquisition already pending", name)
 	}
+	rt.ev(trace.EvAccRequest, name, name.home(rt.n), 0, 0)
 	ev := c.fc.NewEvent()
 	rt.acqWait[name] = ev
 	rt.send(c.fc, name.home(rt.n), smallMsgSize, msgAccAcq{name: name, from: rt.node})
@@ -64,6 +68,7 @@ func (c *Ctx) BeginUpdateAccum(name Name) Item {
 	}
 	e.reserved = false
 	e.busy = true
+	rt.ev(trace.EvAccAcquire, name, -1, int64(e.size), 0)
 	return e.item
 }
 
@@ -77,6 +82,7 @@ func (c *Ctx) EndUpdateAccum(name Name) {
 	}
 	e.busy = false
 	e.version++
+	rt.ev(trace.EvAccCommit, name, -1, int64(e.size), e.version)
 	if rt.w.opts.Invalidate {
 		rt.send(c.fc, name.home(rt.n), smallMsgSize,
 			msgCommitNote{name: name, version: e.version})
@@ -103,9 +109,12 @@ func (c *Ctx) BeginReadChaotic(name Name) Item {
 		cnt.ChaoticHits++
 		e.pins++
 		rt.cache.reindex(e)
+		rt.ev(trace.EvChaoticRead, name, -1, int64(e.size), 1)
+		rt.ev(trace.EvCachePin, name, -1, 0, int64(e.pins))
 		return e.item
 	}
 	cnt.RemoteAccesses++
+	rt.ev(trace.EvChaoticRead, name, -1, 0, 0)
 	for {
 		ev := c.fc.NewEvent()
 		rt.chaoticWait[name] = append(rt.chaoticWait[name], valWaiter{ev: ev, pin: true})
@@ -129,6 +138,7 @@ func (c *Ctx) EndReadChaotic(name Name) {
 		rt.protoErr("EndReadChaotic(%v): not being read here", name)
 	}
 	e.pins--
+	rt.ev(trace.EvCacheUnpin, name, -1, 0, int64(e.pins))
 	if e.pins == 0 && !e.owner && (rt.w.opts.NoCache || e.dropOnUnpin) {
 		rt.cache.remove(e)
 		return
@@ -156,8 +166,9 @@ func (c *Ctx) EndUpdateAccumToValue(name Name, uses int64) {
 	e.kind = kindValue
 	e.stale = false
 	e.declaredUses = uses
-	e.size = e.item.SizeBytes()
+	rt.cache.resize(e, e.item.SizeBytes())
 	rt.dropQueuedChaotic(name)
+	rt.ev(trace.EvAccToValue, name, -1, int64(e.size), uses)
 	rt.send(c.fc, name.home(rt.n), smallMsgSize,
 		msgConvert{name: name, owner: rt.node, toValue: true, uses: uses})
 	rt.wakeValWaiters(c.fc, e)
@@ -182,6 +193,7 @@ func (c *Ctx) ConvertValueToAccum(name Name) {
 	e.version = 0
 	e.next = -1
 	e.hasNext = false
+	rt.ev(trace.EvValToAccum, name, -1, int64(e.size), 0)
 	rt.send(c.fc, name.home(rt.n), smallMsgSize,
 		msgConvert{name: name, owner: rt.node, toValue: false})
 }
@@ -199,7 +211,7 @@ func (rt *nodeRT) transferAccum(fc fabric.Ctx, e *entry) {
 	next := e.next
 	e.hasNext = false
 	e.next = -1
-	e.size = e.item.SizeBytes()
+	rt.cache.resize(e, e.item.SizeBytes())
 	msg := msgAccData{
 		name: e.name, item: e.item.Clone(), size: e.size, version: e.version,
 	}
@@ -207,6 +219,7 @@ func (rt *nodeRT) transferAccum(fc fabric.Ctx, e *entry) {
 	e.owner = false
 	e.stale = true
 	e.fetched = rt.now(fc)
+	rt.ev(trace.EvAccHandoff, e.name, next, int64(e.size), e.version)
 	dropped := false
 	if rt.w.opts.NoCache {
 		if e.pins == 0 {
@@ -308,9 +321,8 @@ func (rt *nodeRT) handleAccData(fc fabric.Ctx, m msgAccData) {
 			rt.protoErr("accumulator data for %v collides with local state", m.name)
 		}
 		// Refresh the stale snapshot in place.
-		rt.cache.used += int64(m.size) - int64(e.size)
 		e.item = m.item
-		e.size = m.size
+		rt.cache.resize(e, m.size)
 		e.stale = false
 		e.owner = true
 		e.version = m.version
@@ -321,6 +333,7 @@ func (rt *nodeRT) handleAccData(fc fabric.Ctx, m msgAccData) {
 		}
 		rt.cache.insert(e)
 	}
+	rt.ev(trace.EvAccArrive, m.name, -1, int64(m.size), m.version)
 	e.fetched = rt.now(fc)
 	delete(rt.forwardedTo, m.name)
 	if next, ok := rt.nextAfter[m.name]; ok {
@@ -433,13 +446,14 @@ func (rt *nodeRT) sendChaoticData(fc fabric.Ctx, dst int, e *entry) {
 		rt.wakeChaoticWaiters(fc, e)
 		return
 	}
-	e.size = e.item.SizeBytes()
+	rt.cache.resize(e, e.item.SizeBytes())
 	// Snapshot before charging: the charge parks, and the application may
 	// start mutating the accumulator meanwhile; a chaotic read may be
 	// stale but never torn.
 	msg := msgChaoticData{
 		name: e.name, item: e.item.Clone(), size: e.size, version: e.version,
 	}
+	rt.ev(trace.EvChaoticServe, e.name, dst, int64(e.size), e.version)
 	chargePack(fc, e.size)
 	cnt := fc.Counters()
 	cnt.DataMessages++
@@ -462,11 +476,11 @@ func (rt *nodeRT) handleChaoticData(fc fabric.Ctx, m msgChaoticData) {
 	case e.owner || e.kind != kindAccum:
 		// We re-acquired (or converted) meanwhile; our copy is newer.
 	case m.version > e.version:
-		rt.cache.used += int64(m.size) - int64(e.size)
 		e.item = m.item
-		e.size = m.size
+		rt.cache.resize(e, m.size)
 		e.version = m.version
 	}
+	rt.ev(trace.EvChaoticData, m.name, -1, int64(m.size), m.version)
 	if e.kind == kindAccum && !e.owner {
 		e.fetched = rt.now(fc)
 	}
@@ -483,6 +497,7 @@ func (rt *nodeRT) wakeChaoticWaiters(fc fabric.Ctx, e *entry) {
 	for _, w := range ws {
 		if w.pin {
 			e.pins++
+			rt.ev(trace.EvCachePin, e.name, -1, 0, int64(e.pins))
 		}
 		if w.ev != nil {
 			w.ev.Signal()
@@ -522,9 +537,11 @@ func (rt *nodeRT) handleInvalidate(fc fabric.Ctx, m msgInvalidate) {
 		return
 	}
 	if e.pins > 0 {
+		rt.ev(trace.EvInvalidate, m.name, -1, int64(e.size), 0)
 		e.dropOnUnpin = true
 		return
 	}
+	rt.ev(trace.EvInvalidate, m.name, -1, int64(e.size), 1)
 	rt.cache.remove(e)
 }
 

@@ -5,6 +5,7 @@ import (
 	"samsys/internal/machine"
 	"samsys/internal/sim"
 	"samsys/internal/stats"
+	"samsys/internal/trace"
 )
 
 // Ctx is the application's handle to the SAM runtime on one node. All
@@ -60,6 +61,7 @@ func (c *Ctx) Barrier() {
 	ev := c.fc.NewEvent()
 	rt.barEv = ev
 	c.fc.Counters().Barriers++
+	rt.ev(trace.EvBarrierArrive, Name{}, 0, 0, rt.barEpoch)
 	rt.send(c.fc, 0, smallMsgSize, msgBarrierArrive{epoch: rt.barEpoch, from: rt.node})
 	ev.Wait(c.fc, stats.Idle)
 }
@@ -80,6 +82,7 @@ func (rt *nodeRT) handleBarrierRelease(fc fabric.Ctx, m msgBarrierRelease) {
 	if m.epoch != rt.barEpoch || rt.barEv == nil {
 		rt.protoErr("barrier release for epoch %d, local epoch %d", m.epoch, rt.barEpoch)
 	}
+	rt.ev(trace.EvBarrierRelease, Name{}, 0, 0, m.epoch)
 	ev := rt.barEv
 	rt.barEv = nil
 	ev.Signal()

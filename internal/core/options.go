@@ -1,6 +1,9 @@
 package core
 
-import "samsys/internal/sim"
+import (
+	"samsys/internal/sim"
+	"samsys/internal/trace"
+)
 
 // Options control runtime policies. The zero value gives the full SAM
 // system as evaluated in the paper; the ablation switches reproduce the
@@ -35,6 +38,14 @@ type Options struct {
 	// redundant work grows with staleness, set a bound so "recent value"
 	// stays recent.
 	ChaoticMaxAge sim.Time
+
+	// Trace, when non-nil, records every directory-protocol transition,
+	// cache movement, barrier and task event into the given recorder.
+	// Attach the same recorder to the fabric (simfab/gofab SetTracer) to
+	// also capture transport and kernel process events with a shared
+	// clock. Nil (the default) disables tracing; every emission site is
+	// behind a single nil check, so the disabled cost is negligible.
+	Trace *trace.Recorder
 }
 
 const defaultCacheBytes = 64 << 20

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
+	"samsys/internal/fabric/simfab"
 	"samsys/internal/machine"
 	"samsys/internal/pack"
+	"samsys/internal/trace"
 )
 
 // Edge-case and adversarial protocol tests.
@@ -285,4 +288,35 @@ func TestDeterministicAcrossRunsFullApps(t *testing.T) {
 	if a, b := run(), run(); a != b {
 		t.Errorf("nondeterministic: %s vs %s", a, b)
 	}
+}
+
+func TestCheckerCatchesInjectedDoublePublish(t *testing.T) {
+	// The online invariant checker must abort a run whose event stream
+	// violates single assignment, even when the runtime's own state is
+	// untouched: forge a second publish of an already-published name.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("run completed without the checker firing")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "published twice") {
+			t.Fatalf("recovered %q, want a published-twice violation", s)
+		}
+	}()
+	rec := trace.New()
+	checker := trace.NewChecker(func(format string, args ...any) {
+		panic(fmt.Sprintf(format, args...))
+	})
+	checker.Attach(rec)
+	fab := simfab.New(machine.CM5, 2)
+	fab.SetTracer(rec)
+	w := NewWorld(fab, Options{Trace: rec})
+	w.Run(func(c *Ctx) {
+		name := N1(tagT, 90)
+		if c.Node() == 0 {
+			c.CreateValue(name, ints(1), UsesUnlimited)
+			rec.Emit(trace.Event{Node: 1, Kind: trace.EvValPublish,
+				Name: trace.Name(name), Peer: -1})
+		}
+	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"samsys/internal/fabric"
 	"samsys/internal/stats"
+	"samsys/internal/trace"
 )
 
 // The task subsystem distributes dynamically created units of work across
@@ -21,6 +22,7 @@ import (
 func (c *Ctx) SpawnTask(dst int, task any, size int) {
 	rt := c.rt
 	rt.spawned++
+	rt.ev(trace.EvTaskSpawn, Name{}, dst, int64(size), rt.spawned)
 	rt.send(c.fc, dst, size+msgHeaderBytes, msgTask{task: task, size: size})
 }
 
@@ -40,6 +42,7 @@ func (c *Ctx) NextTask() (task any, ok bool) {
 		if rt.taskq.Len() > 0 {
 			rt.processed++
 			rt.inTask = true
+			rt.ev(trace.EvTaskExec, Name{}, -1, 0, rt.processed)
 			return rt.taskq.pop(), true
 		}
 		if rt.terminated {
@@ -71,6 +74,7 @@ func (c *Ctx) NextTask() (task any, ok bool) {
 func (c *Ctx) SpawnTaskWhenValues(task any, names ...Name) {
 	rt := c.rt
 	rt.spawned++
+	rt.ev(trace.EvTaskSpawn, Name{}, rt.node, 0, rt.spawned)
 	remaining := 0
 	var arm []Name
 	for _, name := range names {
@@ -121,6 +125,7 @@ func (c *Ctx) TasksSpawned() int64 { return c.rt.spawned }
 func (c *Ctx) TasksProcessed() int64 { return c.rt.processed }
 
 func (rt *nodeRT) reportIdle(fc fabric.Ctx) {
+	rt.ev(trace.EvIdleReport, Name{}, 0, 0, rt.spawned-rt.processed)
 	rt.send(fc, 0, smallMsgSize, msgIdleReport{
 		from: rt.node, spawned: rt.spawned, processed: rt.processed,
 	})
@@ -210,6 +215,7 @@ func (rt *nodeRT) startProbe(fc fabric.Ctx) {
 	t.replies = 0
 	t.waveIdle = true
 	t.waveS, t.waveP = 0, 0
+	rt.ev(trace.EvTermWave, Name{}, -1, 0, t.round)
 	for node := 0; node < t.n; node++ {
 		rt.send(fc, node, smallMsgSize, msgTermProbe{round: t.round})
 	}
@@ -264,6 +270,7 @@ func (rt *nodeRT) handleTermReply(fc fabric.Ctx, m msgTermReply) {
 
 // handleTerminate: unblock the app process permanently.
 func (rt *nodeRT) handleTerminate(fc fabric.Ctx, m msgTerminate) {
+	rt.ev(trace.EvTerminate, Name{}, -1, 0, rt.processed)
 	rt.terminated = true
 	if rt.taskEv != nil {
 		ev := rt.taskEv

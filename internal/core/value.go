@@ -3,6 +3,7 @@ package core
 import (
 	"samsys/internal/fabric"
 	"samsys/internal/stats"
+	"samsys/internal/trace"
 )
 
 // UsesUnlimited declares that a value's number of accesses is not known in
@@ -30,6 +31,7 @@ func (c *Ctx) BeginCreateValue(name Name, item Item, uses int64) Item {
 		owner: true, creating: true, declaredUses: uses,
 	}
 	rt.cache.insert(e)
+	rt.ev(trace.EvValCreate, name, -1, int64(e.size), uses)
 	return e.item
 }
 
@@ -42,7 +44,8 @@ func (c *Ctx) EndCreateValue(name Name) {
 		rt.protoErr("EndCreateValue(%v): not a value under creation here", name)
 	}
 	e.creating = false
-	e.size = e.item.SizeBytes() // may have grown during initialization
+	rt.cache.resize(e, e.item.SizeBytes()) // may have grown during initialization
+	rt.ev(trace.EvValPublish, name, -1, int64(e.size), e.declaredUses)
 	rt.send(c.fc, name.home(rt.n), smallMsgSize,
 		msgValCreated{name: name, owner: rt.node, uses: e.declaredUses})
 	rt.wakeValWaiters(c.fc, e)
@@ -68,9 +71,12 @@ func (c *Ctx) BeginUseValue(name Name) Item {
 		cnt.CacheHits++
 		e.pins++
 		rt.cache.reindex(e)
+		rt.ev(trace.EvValUse, name, -1, int64(e.size), 1)
+		rt.ev(trace.EvCachePin, name, -1, 0, int64(e.pins))
 		return e.item
 	}
 	cnt.RemoteAccesses++
+	rt.ev(trace.EvValUse, name, -1, 0, 0)
 	for {
 		ev := c.fc.NewEvent()
 		rt.valWait[name] = append(rt.valWait[name], valWaiter{ev: ev, pin: true})
@@ -90,6 +96,7 @@ func (c *Ctx) EndUseValue(name Name) {
 		rt.protoErr("EndUseValue(%v): not in use here", name)
 	}
 	e.pins--
+	rt.ev(trace.EvCacheUnpin, name, -1, 0, int64(e.pins))
 	if e.pins == 0 && !e.owner && (rt.w.opts.NoCache || e.dropOnUnpin) {
 		rt.cache.remove(e)
 		return
@@ -105,6 +112,7 @@ func (c *Ctx) DoneValue(name Name, k int64) {
 	if k <= 0 {
 		return
 	}
+	c.rt.ev(trace.EvValDone, name, -1, 0, k)
 	c.rt.send(c.fc, name.home(c.rt.n), smallMsgSize, msgUsesDone{name: name, k: k})
 }
 
@@ -132,6 +140,7 @@ func (c *Ctx) BeginRenameValue(old, new Name, uses int64) Item {
 	if e.pins > 0 {
 		rt.protoErr("BeginRenameValue(%v): still in use locally", old)
 	}
+	rt.ev(trace.EvRenameBegin, old, -1, int64(e.size), 0)
 	ev := c.fc.NewEvent()
 	rt.renameWait[old] = ev
 	rt.send(c.fc, old.home(rt.n), smallMsgSize, msgRenameReq{name: old, from: rt.node})
@@ -162,6 +171,7 @@ func (c *Ctx) PushValue(name Name, dst int) {
 		rt.protoErr("PushValue(%v): no published local copy", name)
 	}
 	c.fc.Counters().Pushes++
+	rt.ev(trace.EvPush, name, dst, int64(e.size), 0)
 	rt.sendValData(c.fc, dst, e)
 	home := name.home(rt.n)
 	if home != dst {
@@ -183,10 +193,12 @@ func (c *Ctx) FetchValueAsync(name Name, cb func(Item)) bool {
 	if e := rt.cache.lookup(name); e != nil && e.kind == kindValue && !e.creating {
 		cnt.CacheHits++
 		rt.cache.touch(e)
+		rt.ev(trace.EvFetchAsync, name, -1, int64(e.size), 1)
 		cb(e.item)
 		return true
 	}
 	cnt.RemoteAccesses++
+	rt.ev(trace.EvFetchAsync, name, -1, 0, 0)
 	rt.valWait[name] = append(rt.valWait[name], valWaiter{cb: cb})
 	rt.requestValue(c.fc, name)
 	return false
@@ -223,6 +235,7 @@ func (rt *nodeRT) wakeValWaiters(fc fabric.Ctx, e *entry) {
 	for _, w := range ws {
 		if w.pin {
 			e.pins++
+			rt.ev(trace.EvCachePin, e.name, -1, 0, int64(e.pins))
 		}
 		if w.ev != nil {
 			w.ev.Signal()
@@ -310,6 +323,7 @@ func (rt *nodeRT) handleValData(fc fabric.Ctx, m msgValData) {
 	}
 	e = &entry{name: m.name, kind: kindValue, item: m.item, size: m.size}
 	rt.cache.insert(e)
+	rt.ev(trace.EvValData, m.name, -1, int64(m.size), 0)
 	rt.wakeValWaiters(fc, e)
 }
 
@@ -343,10 +357,12 @@ func (rt *nodeRT) handleUsesDone(fc fabric.Ctx, m msgUsesDone) {
 // grant it and retire the directory entry.
 func (rt *nodeRT) drainValue(fc fabric.Ctx, name Name, e *dirEntry) {
 	e.drained = true
+	rt.ev(trace.EvValDrain, name, e.owner, 0, 0)
 	rt.releaseCopies(fc, name, e, false)
 	if e.renameWaiter >= 0 {
 		w := e.renameWaiter
 		delete(rt.dir, name)
+		rt.ev(trace.EvRenameGrant, name, w, 0, 0)
 		rt.send(fc, w, smallMsgSize, msgRenameOK{name: name})
 	}
 }
@@ -373,9 +389,11 @@ func (rt *nodeRT) handleValRelease(fc fabric.Ctx, m msgValRelease) {
 		return // already evicted
 	}
 	if e.pins > 0 || e.busy {
+		rt.ev(trace.EvValRelease, m.name, -1, int64(e.size), 0)
 		e.dropOnUnpin = true
 		return
 	}
+	rt.ev(trace.EvValRelease, m.name, -1, int64(e.size), 1)
 	rt.cache.remove(e)
 }
 
@@ -387,6 +405,7 @@ func (rt *nodeRT) handleRenameReq(fc fabric.Ctx, m msgRenameReq) {
 			rt.releaseCopies(fc, m.name, e, false)
 			delete(rt.dir, m.name)
 		}
+		rt.ev(trace.EvRenameGrant, m.name, m.from, 0, 0)
 		rt.send(fc, m.from, smallMsgSize, msgRenameOK{name: m.name})
 		return
 	}
@@ -415,6 +434,7 @@ func (rt *nodeRT) handleDestroy(fc fabric.Ctx, m msgDestroy) {
 	if e == nil {
 		return
 	}
+	rt.ev(trace.EvValDestroy, m.name, e.owner, 0, 0)
 	rt.releaseCopies(fc, m.name, e, true)
 	delete(rt.dir, m.name)
 }

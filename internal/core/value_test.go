@@ -7,16 +7,37 @@ import (
 	"samsys/internal/fabric/simfab"
 	"samsys/internal/machine"
 	"samsys/internal/pack"
+	"samsys/internal/trace"
 )
 
 // runWorld executes an SPMD app on a simulated cluster and returns the
-// world and fabric for inspection.
+// world and fabric for inspection. Every run doubles as an invariant-
+// checker run: protocol events are recorded and validated online, so all
+// core tests — including the stress and protocol suites — fail on any
+// violated invariant, not just on wrong results. The checker panics
+// (the kernel re-raises process panics on the Run caller) so expected-
+// panic tests keep working unchanged.
 func runWorld(t *testing.T, prof machine.Profile, n int, opts Options, app func(*Ctx)) (*World, *simfab.Fab) {
 	t.Helper()
 	fab := simfab.New(prof, n)
+	var checker *trace.Checker
+	if opts.Trace == nil {
+		rec := trace.New()
+		checker = trace.NewChecker(func(format string, args ...any) {
+			panic(fmt.Sprintf(format, args...))
+		})
+		checker.Attach(rec)
+		fab.SetTracer(rec)
+		opts.Trace = rec
+	}
 	w := NewWorld(fab, opts)
 	if err := w.Run(app); err != nil {
 		t.Fatalf("world run: %v", err)
+	}
+	if checker != nil {
+		if err := checker.Finish(); err != nil {
+			t.Fatalf("invariant checker: %v", err)
+		}
 	}
 	return w, fab
 }

@@ -6,6 +6,7 @@ import (
 	"samsys/internal/fabric"
 	"samsys/internal/sim"
 	"samsys/internal/stats"
+	"samsys/internal/trace"
 )
 
 // World is a SAM runtime instance spanning every node of a fabric.
@@ -21,6 +22,9 @@ type World struct {
 func NewWorld(fab fabric.Fabric, opts Options) *World {
 	w := &World{fab: fab, opts: opts}
 	n := fab.N()
+	if tr := opts.Trace; tr != nil {
+		tr.Emit(trace.Event{Node: 0, Kind: trace.EvWorldStart, Peer: -1, Aux: int64(n)})
+	}
 	w.nodes = make([]*nodeRT, n)
 	for i := 0; i < n; i++ {
 		w.nodes[i] = newNodeRT(w, i, n)
@@ -54,6 +58,7 @@ type nodeRT struct {
 	n     int
 	dir   map[Name]*dirEntry
 	cache *cache
+	tr    *trace.Recorder // nil when tracing is disabled
 
 	// Value machinery.
 	valWait  map[Name][]valWaiter // waiting for a value copy to arrive
@@ -107,7 +112,24 @@ func newNodeRT(w *World, node, n int) *nodeRT {
 		rt.barArrived = make(map[int64]int)
 		rt.term = newTermState(n)
 	}
+	if tr := w.opts.Trace; tr != nil {
+		rt.tr = tr
+		rt.cache.rec = tr
+		rt.cache.node = int32(node)
+		tr.Emit(trace.Event{Node: int32(node), Kind: trace.EvCacheReset,
+			Peer: -1, Size: rt.cache.cap})
+	}
 	return rt
+}
+
+// ev records one protocol event for this node. The nil check is the
+// entire disabled-tracing cost at every emission site.
+func (rt *nodeRT) ev(kind trace.Kind, name Name, peer int, size int64, aux int64) {
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Emit(trace.Event{Node: int32(rt.node), Kind: kind,
+		Name: trace.Name(name), Peer: int32(peer), Size: size, Aux: aux})
 }
 
 // valWaiter is one local party waiting for a data item to arrive: either a

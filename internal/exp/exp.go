@@ -10,7 +10,10 @@ import (
 	"sort"
 	"strings"
 
+	"samsys/internal/core"
+	"samsys/internal/fabric/simfab"
 	"samsys/internal/machine"
+	"samsys/internal/trace"
 )
 
 // Scale selects workload sizes.
@@ -30,6 +33,24 @@ type Options struct {
 	Scale    Scale
 	Machines []machine.Profile // defaults per experiment if nil
 	Procs    []int             // processor counts; defaults per experiment
+
+	// Trace, when non-nil, records every run of the experiment into the
+	// given recorder (transport, kernel and protocol events; see the
+	// trace package). The recorder is shared across the sweep; each run
+	// is delimited by a world-start event.
+	Trace *trace.Recorder
+}
+
+// traced attaches the experiment's recorder (if any) to a freshly
+// created fabric and returns core options with tracing wired in. Every
+// experiment that supports -trace funnels fabric construction through
+// this.
+func (o Options) traced(fab *simfab.Fab, co core.Options) core.Options {
+	if o.Trace != nil {
+		fab.SetTracer(o.Trace)
+		co.Trace = o.Trace
+	}
+	return co
 }
 
 func (o Options) machines(def ...machine.Profile) []machine.Profile {

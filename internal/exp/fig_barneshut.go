@@ -43,7 +43,7 @@ func runFig6(o Options) (*Report, error) {
 	for _, prof := range machines {
 		for _, p := range capProcs(procs, prof) {
 			fab := simfab.New(prof, p)
-			res, err := barneshut.Run(fab, core.Options{}, bhConfig(prof, w))
+			res, err := barneshut.Run(fab, o.traced(fab, core.Options{}), bhConfig(prof, w))
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +92,7 @@ func runFig7(o Options) (*Report, error) {
 			procs = prof.MaxNodes
 		}
 		fab := simfab.New(prof, procs)
-		res, err := barneshut.Run(fab, core.Options{}, bhConfig(prof, w))
+		res, err := barneshut.Run(fab, o.traced(fab, core.Options{}), bhConfig(prof, w))
 		if err != nil {
 			return nil, err
 		}

@@ -17,9 +17,10 @@ func init() {
 }
 
 // runChol runs one parallel factorization.
-func runChol(prof machine.Profile, procs int, m *sparse.Matrix, block int,
+func runChol(o Options, prof machine.Profile, procs int, m *sparse.Matrix, block int,
 	opts core.Options, cfg cholesky.Config) (*cholesky.Result, error) {
 	fab := simfab.New(prof, procs)
+	opts = o.traced(fab, opts)
 	cfg.Matrix = m
 	cfg.BlockSize = block
 	return cholesky.Run(fab, opts, cfg)
@@ -47,7 +48,7 @@ func runFig4(o Options) (*Report, error) {
 		}
 		for _, prof := range machines {
 			for _, p := range capProcs(procs, prof) {
-				res, err := runChol(prof, p, mtx, w.cholBlock, core.Options{}, cholesky.Config{Push: true})
+				res, err := runChol(o, prof, p, mtx, w.cholBlock, core.Options{}, cholesky.Config{Push: true})
 				if err != nil {
 					return nil, err
 				}
@@ -78,7 +79,7 @@ func runFig5(o Options) (*Report, error) {
 		if procs > prof.MaxNodes {
 			procs = prof.MaxNodes
 		}
-		res, err := runChol(prof, procs, w.cholSparse, w.cholBlock, core.Options{}, cholesky.Config{})
+		res, err := runChol(o, prof, procs, w.cholSparse, w.cholBlock, core.Options{}, cholesky.Config{})
 		if err != nil {
 			return nil, err
 		}

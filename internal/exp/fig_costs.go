@@ -40,7 +40,7 @@ func costRuns(o Options, prof machine.Profile) ([]appRun, error) {
 	}
 	var runs []appRun
 
-	cres, err := runChol(prof, procs, w.cholSparse, w.cholBlock, core.Options{}, cholesky.Config{})
+	cres, err := runChol(o, prof, procs, w.cholSparse, w.cholBlock, core.Options{}, cholesky.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +52,7 @@ func costRuns(o Options, prof machine.Profile) ([]appRun, error) {
 
 	bserial := barneshut.RunSerial(w.bhBodies, w.bhParams)
 	bfab := simfab.New(prof, procs)
-	bres, err := barneshut.Run(bfab, core.Options{}, bhConfig(prof, w))
+	bres, err := barneshut.Run(bfab, o.traced(bfab, core.Options{}), bhConfig(prof, w))
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +65,7 @@ func costRuns(o Options, prof machine.Profile) ([]appRun, error) {
 	in := w.gbInputs[0]
 	gserial := serialGrobner(in)
 	gfab := simfab.New(prof, procs)
-	gres, err := grobner.Run(gfab, core.Options{}, grobner.Config{Input: in})
+	gres, err := grobner.Run(gfab, o.traced(gfab, core.Options{}), grobner.Config{Input: in})
 	if err != nil {
 		return nil, err
 	}

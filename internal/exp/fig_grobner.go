@@ -50,7 +50,7 @@ func runFig8(o Options) (*Report, error) {
 		for _, prof := range machines {
 			for _, p := range capProcs(procs, prof) {
 				fab := simfab.New(prof, p)
-				res, err := grobner.Run(fab, core.Options{}, grobner.Config{Input: in})
+				res, err := grobner.Run(fab, o.traced(fab, core.Options{}), grobner.Config{Input: in})
 				if err != nil {
 					return nil, err
 				}
@@ -80,7 +80,7 @@ func runFig9(o Options) (*Report, error) {
 			procs = prof.MaxNodes
 		}
 		fab := simfab.New(prof, procs)
-		res, err := grobner.Run(fab, core.Options{}, grobner.Config{Input: in})
+		res, err := grobner.Run(fab, o.traced(fab, core.Options{}), grobner.Config{Input: in})
 		if err != nil {
 			return nil, err
 		}

@@ -27,7 +27,7 @@ type optRunner struct {
 
 func (r optRunner) chol(opts core.Options, push bool) (sim.Time, sim.Time, error) {
 	w := loadWorkloads(r.o.Scale)
-	res, err := runChol(r.prof, r.p, w.cholSparse, w.cholBlock, opts, cholesky.Config{Push: push})
+	res, err := runChol(r.o, r.prof, r.p, w.cholSparse, w.cholBlock, opts, cholesky.Config{Push: push})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -41,7 +41,7 @@ func (r optRunner) bh(opts core.Options, push bool) (sim.Time, sim.Time, error) 
 		cfg.PushLevels = 0
 	}
 	fab := simfab.New(r.prof, r.p)
-	res, err := barneshut.Run(fab, opts, cfg)
+	res, err := barneshut.Run(fab, r.o.traced(fab, opts), cfg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -53,7 +53,7 @@ func (r optRunner) gb(opts core.Options) (sim.Time, sim.Time, error) {
 	w := loadWorkloads(r.o.Scale)
 	in := w.gbInputs[0]
 	fab := simfab.New(r.prof, r.p)
-	res, err := grobner.Run(fab, opts, grobner.Config{Input: in})
+	res, err := grobner.Run(fab, r.o.traced(fab, opts), grobner.Config{Input: in})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -19,18 +19,26 @@ import (
 	"samsys/internal/machine"
 	"samsys/internal/sim"
 	"samsys/internal/stats"
+	"samsys/internal/trace"
 )
 
 // inboxCap bounds each node's message queue. Sends block when the
 // destination queue is full, which throttles runaway producers.
 const inboxCap = 1 << 16
 
+// inMsg is a queued message plus its per-link sequence number (0 when
+// tracing is off).
+type inMsg struct {
+	m   fabric.Message
+	seq int64
+}
+
 // Fab is a real-time in-process cluster.
 type Fab struct {
 	n        int
 	prof     machine.Profile
 	handler  fabric.Handler
-	inboxes  []chan fabric.Message
+	inboxes  []chan inMsg
 	counters []stats.Counters
 	acct     [][]int64 // [node][cat] nanoseconds, guarded by node goroutine
 	mu       []sync.Mutex
@@ -38,6 +46,30 @@ type Fab struct {
 	elapsed  sim.Time
 	ran      bool
 	done     atomicBool
+
+	tr *trace.Recorder
+	// linkSeq[src][dst] is only touched by src's goroutine: race-free.
+	linkSeq [][]int64
+}
+
+// SetTracer attaches an event recorder; events are stamped with wall
+// time since Run started. Call before Run; pass nil to detach.
+func (f *Fab) SetTracer(r *trace.Recorder) {
+	f.tr = r
+	if r == nil {
+		f.linkSeq = nil
+		return
+	}
+	r.SetClock(func() sim.Time {
+		if f.start.IsZero() {
+			return 0
+		}
+		return sim.Time(time.Since(f.start))
+	})
+	f.linkSeq = make([][]int64, f.n)
+	for i := range f.linkSeq {
+		f.linkSeq[i] = make([]int64, f.n)
+	}
 }
 
 // New creates an n-node in-process cluster. The profile is used only for
@@ -48,13 +80,13 @@ func New(prof machine.Profile, n int) *Fab {
 	}
 	f := &Fab{
 		n: n, prof: prof,
-		inboxes:  make([]chan fabric.Message, n),
+		inboxes:  make([]chan inMsg, n),
 		counters: make([]stats.Counters, n),
 		acct:     make([][]int64, n),
 		mu:       make([]sync.Mutex, n),
 	}
 	for i := range f.inboxes {
-		f.inboxes[i] = make(chan fabric.Message, inboxCap)
+		f.inboxes[i] = make(chan inMsg, inboxCap)
 		f.acct[i] = make([]int64, stats.NumCat)
 	}
 	return f
@@ -157,10 +189,16 @@ func (c *ctx) Send(dst, size int, payload any) {
 	cnt := c.Counters()
 	cnt.Messages++
 	cnt.BytesSent += int64(size)
-	m := fabric.Message{Src: c.node, Dst: dst, Size: size, Payload: payload}
+	im := inMsg{m: fabric.Message{Src: c.node, Dst: dst, Size: size, Payload: payload}}
+	if tr := c.fab.tr; tr != nil {
+		c.fab.linkSeq[c.node][dst]++
+		im.seq = c.fab.linkSeq[c.node][dst]
+		tr.Emit(trace.Event{Node: int32(c.node), Kind: trace.EvMsgSend,
+			Peer: int32(dst), Size: int64(size), Aux: im.seq})
+	}
 	for {
 		select {
-		case c.fab.inboxes[dst] <- m:
+		case c.fab.inboxes[dst] <- im:
 			c.poll()
 			return
 		default:
@@ -171,12 +209,21 @@ func (c *ctx) Send(dst, size int, payload any) {
 	}
 }
 
+// handle records the delivery (when tracing) and runs the handler.
+func (c *ctx) handle(im inMsg) {
+	if tr := c.fab.tr; tr != nil {
+		tr.Emit(trace.Event{Node: int32(c.node), Kind: trace.EvMsgDeliver,
+			Peer: int32(im.m.Src), Size: int64(im.m.Size), Aux: im.seq})
+	}
+	c.fab.handler(c, im.m)
+}
+
 // poll handles all currently queued messages without blocking.
 func (c *ctx) poll() {
 	for {
 		select {
-		case m := <-c.fab.inboxes[c.node]:
-			c.fab.handler(c, m)
+		case im := <-c.fab.inboxes[c.node]:
+			c.handle(im)
 		default:
 			return
 		}
@@ -186,8 +233,8 @@ func (c *ctx) poll() {
 // pollBlocking handles at least one message (or yields briefly).
 func (c *ctx) pollBlocking() {
 	select {
-	case m := <-c.fab.inboxes[c.node]:
-		c.fab.handler(c, m)
+	case im := <-c.fab.inboxes[c.node]:
+		c.handle(im)
 	case <-time.After(50 * time.Microsecond):
 	}
 }
@@ -230,8 +277,8 @@ func (e *event) Wait(fc fabric.Ctx, reason int) {
 		case <-e.ch:
 			c.fab.acct[c.node][reason] += int64(time.Since(start))
 			return
-		case m := <-c.fab.inboxes[c.node]:
-			c.fab.handler(c, m)
+		case im := <-c.fab.inboxes[c.node]:
+			c.handle(im)
 		}
 	}
 }

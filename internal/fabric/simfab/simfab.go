@@ -10,6 +10,7 @@ import (
 	"samsys/internal/machine"
 	"samsys/internal/sim"
 	"samsys/internal/stats"
+	"samsys/internal/trace"
 )
 
 // Fab is a simulated cluster. Create with New, install a handler, then
@@ -29,6 +30,36 @@ type Fab struct {
 	outFree []sim.Time
 	elapsed sim.Time
 	ran     bool
+
+	tr *trace.Recorder
+	// linkSeq numbers messages per (src,dst) link when tracing, so the
+	// checker can verify FIFO delivery and message conservation.
+	linkSeq [][]int64
+}
+
+// inMsg wraps a message with its per-link sequence number while tracing.
+type inMsg struct {
+	m   fabric.Message
+	seq int64
+}
+
+// SetTracer attaches an event recorder: the recorder's clock becomes the
+// simulation clock, kernel process events are forwarded, and every
+// send/delivery is recorded with a per-link sequence number. Call before
+// Run; pass nil to detach.
+func (f *Fab) SetTracer(r *trace.Recorder) {
+	f.tr = r
+	if r == nil {
+		f.env.SetTracer(nil)
+		f.linkSeq = nil
+		return
+	}
+	r.SetClock(f.env.Now)
+	f.env.SetTracer(r)
+	f.linkSeq = make([][]int64, f.n)
+	for i := range f.linkSeq {
+		f.linkSeq[i] = make([]int64, f.n)
+	}
 }
 
 // New creates a simulated cluster of n nodes of the given machine model.
@@ -83,8 +114,19 @@ func (f *Fab) Run(app func(c fabric.Ctx)) error {
 		f.env.SpawnDaemon(host, fmt.Sprintf("handler%d", node), func(p *sim.Proc) {
 			hc.proc = p
 			for {
-				m := f.inboxes[node].Get(p, stats.Wait).(fabric.Message)
+				raw := f.inboxes[node].Get(p, stats.Wait)
+				var m fabric.Message
+				var seq int64
+				if im, ok := raw.(inMsg); ok {
+					m, seq = im.m, im.seq
+				} else {
+					m = raw.(fabric.Message)
+				}
 				p.Charge(stats.Msg, f.prof.RecvTime)
+				if f.tr != nil {
+					f.tr.Emit(trace.Event{Node: int32(node), Kind: trace.EvMsgDeliver,
+						Peer: int32(m.Src), Size: int64(m.Size), Aux: seq})
+				}
 				f.handler(hc, m)
 			}
 		})
@@ -168,6 +210,14 @@ func (c *ctx) Send(dst, size int, payload any) {
 	}
 	c.fab.linkFree[c.node][dst] = arrive
 	m := fabric.Message{Src: c.node, Dst: dst, Size: size, Payload: payload}
+	if tr := c.fab.tr; tr != nil {
+		c.fab.linkSeq[c.node][dst]++
+		seq := c.fab.linkSeq[c.node][dst]
+		tr.Emit(trace.Event{Node: int32(c.node), Kind: trace.EvMsgSend,
+			Peer: int32(dst), Size: int64(size), Aux: seq, Aux2: int64(arrive)})
+		c.fab.env.At(arrive, func() { c.fab.inboxes[dst].Put(inMsg{m: m, seq: seq}) })
+		return
+	}
 	c.fab.env.At(arrive, func() { c.fab.inboxes[dst].Put(m) })
 }
 

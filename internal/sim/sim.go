@@ -53,7 +53,21 @@ type Env struct {
 	parked  map[*Proc]struct{}
 	stopped bool
 	fault   *procFault
+	tracer  ProcTracer
 }
+
+// ProcTracer receives process lifecycle callbacks from the kernel. The
+// trace package's Recorder implements it; the kernel itself stays free
+// of tracing dependencies. Callbacks run in kernel or process context,
+// never concurrently.
+type ProcTracer interface {
+	ProcStart(t Time, host int, name string, daemon bool)
+	ProcBlock(t Time, host int, name string, reason int)
+	ProcUnblock(t Time, host int, name string)
+}
+
+// SetTracer installs a process lifecycle tracer (nil disables tracing).
+func (e *Env) SetTracer(tr ProcTracer) { e.tracer = tr }
 
 // procFault carries a panic out of a process goroutine so it can be
 // re-raised on the caller of Run (making application faults testable).
@@ -114,6 +128,9 @@ func (e *Env) SpawnDaemon(h *Host, name string, fn func(p *Proc)) *Proc {
 
 func (e *Env) spawn(h *Host, name string, fn func(p *Proc), daemon bool) *Proc {
 	p := &Proc{env: e, host: h, name: name, daemon: daemon, resume: make(chan struct{})}
+	if e.tracer != nil {
+		e.tracer.ProcStart(e.now, h.ID, name, daemon)
+	}
 	e.At(e.now, func() {
 		go p.run(fn)
 		p.dispatch()
@@ -304,6 +321,9 @@ type blockInfo struct {
 // category reason when the process resumes.
 func (p *Proc) Block(reason int) {
 	h := p.host
+	if tr := p.env.tracer; tr != nil {
+		tr.ProcBlock(p.env.now, h.ID, p.name, reason)
+	}
 	bi := &blockInfo{start: p.env.now, reason: reason}
 	h.blocked[p] = bi
 	p.blockReason = reason
@@ -320,7 +340,12 @@ func (p *Proc) Block(reason int) {
 // Unblock schedules a process previously suspended with Block to resume at
 // the current virtual time. It must be called from kernel or process
 // context, and exactly once per Block.
-func (p *Proc) Unblock() { p.unpark() }
+func (p *Proc) Unblock() {
+	if tr := p.env.tracer; tr != nil {
+		tr.ProcUnblock(p.env.now, p.host.ID, p.name)
+	}
+	p.unpark()
+}
 
 var blockNames = map[int]string{}
 

@@ -103,3 +103,51 @@ func TestBreakdownProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCatNameTable(t *testing.T) {
+	// The names are part of the reporting (and trace) surface; pin them.
+	want := map[int]string{
+		App:   "app",
+		Idle:  "idle",
+		Msg:   "message",
+		Stall: "stall",
+		Addr:  "addr-trans",
+		Pack:  "pack/unpack",
+		Extra: "extra-work",
+		Wait:  "wait",
+	}
+	if len(want) != NumCat {
+		t.Fatalf("table covers %d categories, NumCat = %d", len(want), NumCat)
+	}
+	// Round trip: every category maps to its pinned name and back.
+	byName := map[string]int{}
+	for cat := 0; cat < NumCat; cat++ {
+		if got := CatName(cat); got != want[cat] {
+			t.Errorf("CatName(%d) = %q, want %q", cat, got, want[cat])
+		}
+		byName[CatName(cat)] = cat
+	}
+	for cat := 0; cat < NumCat; cat++ {
+		if back, ok := byName[CatName(cat)]; !ok || back != cat {
+			t.Errorf("name %q does not round-trip to category %d", CatName(cat), cat)
+		}
+	}
+}
+
+func TestRowNeverReportsWait(t *testing.T) {
+	// Wait is handler-loop quiescence, not CPU time: even a breakdown
+	// dominated by Wait must not surface it in the reported row.
+	r := NodeReport{Total: 10 * sim.Second}
+	r.Acct[Wait] = 10 * sim.Second
+	r.Acct[Idle] = 1 * sim.Second
+	b := Breakdown{Nodes: []NodeReport{r}}
+	row := b.Row()
+	if strings.Contains(row, "wait") {
+		t.Errorf("Row() reports the wait category: %q", row)
+	}
+	for _, name := range []string{"idle", "message", "stall", "addr-trans", "pack/unpack"} {
+		if !strings.Contains(row, name) {
+			t.Errorf("Row() missing category %q: %q", name, row)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package trace
+
+import "fmt"
+
+// Checker validates protocol invariants online, as events are emitted.
+// It watches for:
+//
+//   - double assignment: a value Name published twice without an
+//     intervening destroy/rename/convert-to-accumulator
+//   - accumulator mutual exclusion: two concurrent holders, or data
+//     arriving at a node the previous holder did not hand off to
+//   - use-after-release: pinning, evicting or resizing storage that the
+//     cache has already reclaimed, or reclaiming storage that is pinned
+//   - cache byte-budget overflow: the cache exceeding its capacity while
+//     unpinned (evictable) entries remain, or its byte accounting
+//     drifting from the sum of resident entry sizes
+//   - per-link FIFO: a message delivered out of per-link sequence order
+//   - message conservation: every send matched by exactly one delivery
+//     (checked for duplicates online, for losses at Finish)
+//
+// Attach a Checker to a Recorder with Attach. If failf is non-nil the
+// checker fails fast — it calls failf on the first violation (tests pass
+// a panic; samexp passes log.Fatalf). With a nil failf it collects
+// violations for inspection via Err and Violations.
+type Checker struct {
+	failf      func(format string, args ...any)
+	violations []string
+
+	published map[Name]int32       // value name -> publishing node
+	accum     map[Name]*accState   // accumulator name -> exclusivity state
+	caches    map[int32]*cacheState// node -> byte accounting
+	links     map[linkKey]*linkState
+}
+
+type accState struct {
+	holder     int32 // node holding the data, -1 while in flight
+	inFlightTo int32 // destination of the pending handoff, -1 if none
+}
+
+type cacheState struct {
+	cap      int64
+	resident map[Name]int64 // name -> bytes
+	pins     map[Name]int64 // name -> pin count (only non-zero entries)
+}
+
+type linkKey struct{ src, dst int32 }
+
+type linkState struct {
+	lastDelivered int64
+	outstanding   map[int64]bool // sent per-link seqs not yet delivered
+}
+
+// NewChecker creates a checker. See the type comment for failf semantics.
+func NewChecker(failf func(format string, args ...any)) *Checker {
+	return &Checker{
+		failf:     failf,
+		published: make(map[Name]int32),
+		accum:     make(map[Name]*accState),
+		caches:    make(map[int32]*cacheState),
+		links:     make(map[linkKey]*linkState),
+	}
+}
+
+// Attach subscribes the checker to r's event stream.
+func (c *Checker) Attach(r *Recorder) { r.Observe(c.Observe) }
+
+func (c *Checker) fail(ev *Event, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	where := fmt.Sprintf("t=%d node=%d %s", int64(ev.T), ev.Node, ev.Kind)
+	if !ev.Name.IsZero() {
+		where += " " + ev.Name.String()
+	}
+	full := "trace: invariant violation: " + msg + " [" + where + "]"
+	c.violations = append(c.violations, full)
+	if c.failf != nil {
+		c.failf("%s", full)
+	}
+}
+
+// Err returns the first recorded violation, or nil.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s", c.violations[0])
+}
+
+// Violations returns all recorded violations in order.
+func (c *Checker) Violations() []string { return c.violations }
+
+func (c *Checker) cache(node int32) *cacheState {
+	cs := c.caches[node]
+	if cs == nil {
+		cs = &cacheState{resident: make(map[Name]int64), pins: make(map[Name]int64)}
+		c.caches[node] = cs
+	}
+	return cs
+}
+
+// Observe consumes one event. It is registered via Recorder.Observe and
+// therefore runs under the recorder lock, serialized with all emitters.
+func (c *Checker) Observe(ev *Event) {
+	switch ev.Kind {
+
+	// --- run boundary: a fresh runtime instance restarts the protocol ---
+	case EvWorldStart:
+		c.published = make(map[Name]int32)
+		c.accum = make(map[Name]*accState)
+		c.caches = make(map[int32]*cacheState)
+		c.links = make(map[linkKey]*linkState)
+
+	// --- single assignment ---
+	case EvValPublish:
+		if prev, ok := c.published[ev.Name]; ok {
+			c.fail(ev, "value %s published twice (single-assignment): first on node %d, again on node %d",
+				ev.Name, prev, ev.Node)
+			return
+		}
+		c.published[ev.Name] = ev.Node
+	case EvValDestroy, EvRenameGrant:
+		delete(c.published, ev.Name)
+
+	// --- accumulator mutual exclusion ---
+	case EvAccCreate:
+		c.accum[ev.Name] = &accState{holder: ev.Node, inFlightTo: -1}
+	case EvValToAccum:
+		delete(c.published, ev.Name)
+		c.accum[ev.Name] = &accState{holder: ev.Node, inFlightTo: -1}
+	case EvAccHandoff:
+		st := c.accum[ev.Name]
+		if st == nil {
+			c.fail(ev, "accumulator %s handed off but was never created/held", ev.Name)
+			return
+		}
+		if st.holder != ev.Node {
+			c.fail(ev, "accumulator %s handed off by node %d which is not the holder (holder=%d)",
+				ev.Name, ev.Node, st.holder)
+			return
+		}
+		st.holder = -1
+		st.inFlightTo = ev.Peer
+	case EvAccArrive:
+		st := c.accum[ev.Name]
+		if st == nil {
+			st = &accState{holder: -1, inFlightTo: -1}
+			c.accum[ev.Name] = st
+		}
+		if st.holder >= 0 {
+			c.fail(ev, "accumulator %s arrived at node %d while node %d still holds it (two concurrent holders)",
+				ev.Name, ev.Node, st.holder)
+			return
+		}
+		if st.inFlightTo >= 0 && st.inFlightTo != ev.Node {
+			c.fail(ev, "accumulator %s arrived at node %d but was handed off to node %d",
+				ev.Name, ev.Node, st.inFlightTo)
+			return
+		}
+		st.holder = ev.Node
+		st.inFlightTo = -1
+	case EvAccToValue:
+		st := c.accum[ev.Name]
+		if st == nil || st.holder != ev.Node {
+			holder := int32(-2)
+			if st != nil {
+				holder = st.holder
+			}
+			c.fail(ev, "accumulator %s converted to value by node %d which is not the holder (holder=%d)",
+				ev.Name, ev.Node, holder)
+			return
+		}
+		delete(c.accum, ev.Name)
+		if prev, ok := c.published[ev.Name]; ok {
+			c.fail(ev, "value %s published twice (accumulator conversion): first on node %d, again on node %d",
+				ev.Name, prev, ev.Node)
+			return
+		}
+		c.published[ev.Name] = ev.Node
+
+	// --- cache accounting, byte budget, use-after-release ---
+	case EvCacheReset:
+		cs := c.cache(ev.Node)
+		cs.cap = ev.Size
+		cs.resident = make(map[Name]int64)
+		cs.pins = make(map[Name]int64)
+	case EvCacheInsert:
+		cs := c.cache(ev.Node)
+		if _, ok := cs.resident[ev.Name]; ok {
+			c.fail(ev, "cache insert of %s on node %d but it is already resident", ev.Name, ev.Node)
+			return
+		}
+		cs.resident[ev.Name] = ev.Size
+		c.checkBudget(ev, cs)
+	case EvCacheResize:
+		cs := c.cache(ev.Node)
+		if _, ok := cs.resident[ev.Name]; !ok {
+			c.fail(ev, "cache resize of %s on node %d but it is not resident (use after release)", ev.Name, ev.Node)
+			return
+		}
+		cs.resident[ev.Name] = ev.Size
+		c.checkBudget(ev, cs)
+	case EvCacheEvict, EvCacheRemove:
+		cs := c.cache(ev.Node)
+		if _, ok := cs.resident[ev.Name]; !ok {
+			c.fail(ev, "cache reclaim of %s on node %d but it is not resident (double reclaim)", ev.Name, ev.Node)
+			return
+		}
+		if p := cs.pins[ev.Name]; p > 0 {
+			c.fail(ev, "cache reclaim of %s on node %d while pinned %d times (reclaimed storage still in use)",
+				ev.Name, ev.Node, p)
+			return
+		}
+		delete(cs.resident, ev.Name)
+	case EvCachePin:
+		cs := c.cache(ev.Node)
+		if _, ok := cs.resident[ev.Name]; !ok {
+			c.fail(ev, "pin of %s on node %d but it is not resident (use after release)", ev.Name, ev.Node)
+			return
+		}
+		cs.pins[ev.Name]++
+	case EvCacheUnpin:
+		cs := c.cache(ev.Node)
+		if cs.pins[ev.Name] <= 0 {
+			c.fail(ev, "unpin of %s on node %d with no outstanding pin", ev.Name, ev.Node)
+			return
+		}
+		cs.pins[ev.Name]--
+		if cs.pins[ev.Name] == 0 {
+			delete(cs.pins, ev.Name)
+		}
+
+	// --- fabric: FIFO delivery + conservation ---
+	case EvMsgSend:
+		k := linkKey{src: ev.Node, dst: ev.Peer}
+		ls := c.links[k]
+		if ls == nil {
+			ls = &linkState{outstanding: make(map[int64]bool)}
+			c.links[k] = ls
+		}
+		if ls.outstanding[ev.Aux] {
+			c.fail(ev, "link %d->%d: duplicate send of seq %d", k.src, k.dst, ev.Aux)
+			return
+		}
+		ls.outstanding[ev.Aux] = true
+	case EvMsgDeliver:
+		k := linkKey{src: ev.Peer, dst: ev.Node}
+		ls := c.links[k]
+		if ls == nil || !ls.outstanding[ev.Aux] {
+			c.fail(ev, "link %d->%d: delivery of seq %d that was never sent or already delivered (conservation)",
+				k.src, k.dst, ev.Aux)
+			return
+		}
+		if ev.Aux <= ls.lastDelivered {
+			c.fail(ev, "link %d->%d: seq %d delivered after seq %d (FIFO violation)",
+				k.src, k.dst, ev.Aux, ls.lastDelivered)
+			return
+		}
+		// FIFO on the simulated links additionally means no reordering:
+		// seqs must arrive in exactly ascending order.
+		delete(ls.outstanding, ev.Aux)
+		ls.lastDelivered = ev.Aux
+	}
+}
+
+// checkBudget verifies the cache byte accounting after an insert/resize.
+// ev.Aux carries the cache's own used-byte count; it must match the sum
+// of resident entry sizes, and must fit the capacity unless every
+// resident entry is pinned (pinned bytes may legitimately exceed the
+// budget — the runtime evicts as soon as pins drop).
+func (c *Checker) checkBudget(ev *Event, cs *cacheState) {
+	var sum int64
+	for _, sz := range cs.resident {
+		sum += sz
+	}
+	if ev.Aux != sum {
+		c.fail(ev, "cache accounting drift on node %d: runtime reports %d used bytes, events sum to %d",
+			ev.Node, ev.Aux, sum)
+		return
+	}
+	if cs.cap > 0 && sum > cs.cap && ev.Aux2 > 0 {
+		c.fail(ev, "cache over budget on node %d: %d used > %d capacity with %d evictable entries",
+			ev.Node, sum, cs.cap, ev.Aux2)
+	}
+}
+
+// Finish runs the end-of-run checks (message conservation: no message
+// sent but never delivered) and returns the first violation, if any.
+func (c *Checker) Finish() error {
+	for k, ls := range c.links {
+		if n := len(ls.outstanding); n > 0 {
+			lo := int64(-1)
+			for s := range ls.outstanding {
+				if lo < 0 || s < lo {
+					lo = s
+				}
+			}
+			c.violations = append(c.violations, fmt.Sprintf(
+				"trace: invariant violation: link %d->%d: %d message(s) sent but never delivered (first seq %d)",
+				k.src, k.dst, n, lo))
+			if c.failf != nil {
+				c.failf("%s", c.violations[len(c.violations)-1])
+			}
+		}
+	}
+	return c.Err()
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// checkSeq feeds events through a recorder with a collecting checker
+// attached and returns the checker.
+func checkSeq(events ...Event) *Checker {
+	c := NewChecker(nil)
+	r := New()
+	c.Attach(r)
+	for _, ev := range events {
+		r.Emit(ev)
+	}
+	return c
+}
+
+func wantViolation(t *testing.T, c *Checker, substr string) {
+	t.Helper()
+	if c.Err() == nil {
+		t.Fatalf("no violation recorded, want one containing %q", substr)
+	}
+	if !strings.Contains(c.Err().Error(), substr) {
+		t.Fatalf("violation %q does not contain %q", c.Err(), substr)
+	}
+}
+
+func wantClean(t *testing.T, c *Checker) {
+	t.Helper()
+	if err := c.Err(); err != nil {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+var vn = Name{Tag: 1, X: 9}
+
+func TestCheckerDoublePublish(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvValPublish, Name: vn},
+		Event{Node: 1, Kind: EvValPublish, Name: vn},
+	)
+	wantViolation(t, c, "published twice")
+}
+
+func TestCheckerRepublishAfterDestroyOrRenameIsLegal(t *testing.T) {
+	wantClean(t, checkSeq(
+		Event{Node: 0, Kind: EvValPublish, Name: vn},
+		Event{Node: 0, Kind: EvValDestroy, Name: vn},
+		Event{Node: 1, Kind: EvValPublish, Name: vn},
+		Event{Node: 1, Kind: EvRenameGrant, Name: vn},
+		Event{Node: 0, Kind: EvValPublish, Name: vn},
+	))
+}
+
+func TestCheckerAccumTwoConcurrentHolders(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvAccCreate, Name: vn},
+		Event{Node: 1, Kind: EvAccArrive, Name: vn}, // no handoff released node 0
+	)
+	wantViolation(t, c, "two concurrent holders")
+}
+
+func TestCheckerAccumHandoffByNonHolder(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvAccCreate, Name: vn},
+		Event{Node: 2, Kind: EvAccHandoff, Name: vn, Peer: 1},
+	)
+	wantViolation(t, c, "not the holder")
+}
+
+func TestCheckerAccumArriveAtWrongDestination(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvAccCreate, Name: vn},
+		Event{Node: 0, Kind: EvAccHandoff, Name: vn, Peer: 1},
+		Event{Node: 2, Kind: EvAccArrive, Name: vn},
+	)
+	wantViolation(t, c, "handed off to node 1")
+}
+
+func TestCheckerAccumMigrationChainIsLegal(t *testing.T) {
+	wantClean(t, checkSeq(
+		Event{Node: 0, Kind: EvAccCreate, Name: vn},
+		Event{Node: 0, Kind: EvAccHandoff, Name: vn, Peer: 1},
+		Event{Node: 1, Kind: EvAccArrive, Name: vn},
+		Event{Node: 1, Kind: EvAccHandoff, Name: vn, Peer: 2},
+		Event{Node: 2, Kind: EvAccArrive, Name: vn},
+		Event{Node: 2, Kind: EvAccToValue, Name: vn},
+		Event{Node: 2, Kind: EvValToAccum, Name: vn},
+	))
+}
+
+func TestCheckerAccToValueByNonHolder(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvAccCreate, Name: vn},
+		Event{Node: 1, Kind: EvAccToValue, Name: vn},
+	)
+	wantViolation(t, c, "not the holder")
+}
+
+func TestCheckerUseAfterRelease(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvCacheReset, Size: 1024},
+		Event{Node: 0, Kind: EvCacheInsert, Name: vn, Size: 100, Aux: 100},
+		Event{Node: 0, Kind: EvCacheEvict, Name: vn, Size: 100},
+		Event{Node: 0, Kind: EvCachePin, Name: vn},
+	)
+	wantViolation(t, c, "use after release")
+}
+
+func TestCheckerReclaimWhilePinned(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvCacheReset, Size: 1024},
+		Event{Node: 0, Kind: EvCacheInsert, Name: vn, Size: 100, Aux: 100},
+		Event{Node: 0, Kind: EvCachePin, Name: vn},
+		Event{Node: 0, Kind: EvCacheRemove, Name: vn, Size: 100},
+	)
+	wantViolation(t, c, "still in use")
+}
+
+func TestCheckerDoubleReclaim(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvCacheReset, Size: 1024},
+		Event{Node: 0, Kind: EvCacheInsert, Name: vn, Size: 100, Aux: 100},
+		Event{Node: 0, Kind: EvCacheEvict, Name: vn, Size: 100},
+		Event{Node: 0, Kind: EvCacheRemove, Name: vn, Size: 100},
+	)
+	wantViolation(t, c, "double reclaim")
+}
+
+func TestCheckerCacheAccountingDrift(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvCacheReset, Size: 1024},
+		Event{Node: 0, Kind: EvCacheInsert, Name: vn, Size: 100, Aux: 90},
+	)
+	wantViolation(t, c, "accounting drift")
+}
+
+func TestCheckerCacheOverBudgetWithEvictable(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvCacheReset, Size: 128},
+		Event{Node: 0, Kind: EvCacheInsert, Name: Name{Tag: 1, X: 1}, Size: 100, Aux: 100, Aux2: 1},
+		Event{Node: 0, Kind: EvCacheInsert, Name: Name{Tag: 1, X: 2}, Size: 100, Aux: 200, Aux2: 2},
+	)
+	wantViolation(t, c, "over budget")
+}
+
+func TestCheckerPinnedOverflowIsLegal(t *testing.T) {
+	// Aux2 == 0 signals every resident entry is pinned: exceeding the
+	// budget is then legitimate (the runtime evicts once pins drop).
+	wantClean(t, checkSeq(
+		Event{Node: 0, Kind: EvCacheReset, Size: 128},
+		Event{Node: 0, Kind: EvCacheInsert, Name: Name{Tag: 1, X: 1}, Size: 100, Aux: 100},
+		Event{Node: 0, Kind: EvCacheInsert, Name: Name{Tag: 1, X: 2}, Size: 100, Aux: 200},
+	))
+}
+
+func TestCheckerUnbalancedUnpin(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvCacheReset, Size: 1024},
+		Event{Node: 0, Kind: EvCacheInsert, Name: vn, Size: 100, Aux: 100},
+		Event{Node: 0, Kind: EvCacheUnpin, Name: vn},
+	)
+	wantViolation(t, c, "no outstanding pin")
+}
+
+func TestCheckerFIFOViolation(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvMsgSend, Peer: 1, Aux: 1},
+		Event{Node: 0, Kind: EvMsgSend, Peer: 1, Aux: 2},
+		Event{Node: 1, Kind: EvMsgDeliver, Peer: 0, Aux: 2},
+		Event{Node: 1, Kind: EvMsgDeliver, Peer: 0, Aux: 1},
+	)
+	wantViolation(t, c, "FIFO violation")
+}
+
+func TestCheckerDuplicateDelivery(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvMsgSend, Peer: 1, Aux: 1},
+		Event{Node: 1, Kind: EvMsgDeliver, Peer: 0, Aux: 1},
+		Event{Node: 1, Kind: EvMsgDeliver, Peer: 0, Aux: 1},
+	)
+	wantViolation(t, c, "conservation")
+}
+
+func TestCheckerLostMessageCaughtAtFinish(t *testing.T) {
+	c := checkSeq(
+		Event{Node: 0, Kind: EvMsgSend, Peer: 1, Aux: 1},
+		Event{Node: 0, Kind: EvMsgSend, Peer: 1, Aux: 2},
+		Event{Node: 1, Kind: EvMsgDeliver, Peer: 0, Aux: 1},
+	)
+	wantClean(t, c) // nothing wrong online...
+	if err := c.Finish(); err == nil || !strings.Contains(err.Error(), "never delivered") {
+		t.Fatalf("Finish() = %v, want a never-delivered violation", err)
+	}
+}
+
+func TestCheckerWorldStartResetsState(t *testing.T) {
+	// A second runtime instance legitimately reuses names, link seqs and
+	// cache state; EvWorldStart must wipe the slate.
+	c := checkSeq(
+		Event{Node: 0, Kind: EvWorldStart, Peer: -1, Aux: 2},
+		Event{Node: 0, Kind: EvValPublish, Name: vn},
+		Event{Node: 0, Kind: EvAccCreate, Name: Name{Tag: 2, X: 1}},
+		Event{Node: 0, Kind: EvMsgSend, Peer: 1, Aux: 1},
+		Event{Node: 1, Kind: EvMsgDeliver, Peer: 0, Aux: 1},
+
+		Event{Node: 0, Kind: EvWorldStart, Peer: -1, Aux: 2},
+		Event{Node: 0, Kind: EvValPublish, Name: vn},
+		Event{Node: 1, Kind: EvAccArrive, Name: Name{Tag: 2, X: 1}},
+		Event{Node: 0, Kind: EvMsgSend, Peer: 1, Aux: 1},
+		Event{Node: 1, Kind: EvMsgDeliver, Peer: 0, Aux: 1},
+	)
+	wantClean(t, c)
+	if err := c.Finish(); err != nil {
+		t.Fatalf("Finish() = %v, want nil", err)
+	}
+}
+
+func TestCheckerFailFastCallsFailf(t *testing.T) {
+	var got string
+	c := NewChecker(func(format string, args ...any) {
+		if got == "" {
+			got = fmt.Sprintf(format, args...)
+		}
+	})
+	r := New()
+	c.Attach(r)
+	r.Emit(Event{Node: 0, Kind: EvValPublish, Name: vn})
+	r.Emit(Event{Node: 1, Kind: EvValPublish, Name: vn})
+	if !strings.Contains(got, "published twice") {
+		t.Fatalf("failf got %q, want it to contain %q", got, "published twice")
+	}
+	if len(c.Violations()) != 1 {
+		t.Fatalf("Violations() = %d entries, want 1", len(c.Violations()))
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChromeTrace writes events as Chrome trace-event JSON (the
+// "JSON object format": {"traceEvents": [...]}), loadable in
+// chrome://tracing or https://ui.perfetto.dev. Each event becomes an
+// instant event (ph "i") on the pid of its node; timestamps are
+// microseconds (virtual nanoseconds / 1000 under simfab). Output is
+// deterministic: events are written in the order given, metadata in
+// ascending node order.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+
+	// Name the per-node "processes" so viewers show node IDs.
+	maxNode := int32(-1)
+	for i := range events {
+		if events[i].Node > maxNode {
+			maxNode = events[i].Node
+		}
+	}
+	first := true
+	for n := int32(0); n <= maxNode; n++ {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"node %d"}}`, n, n)
+	}
+
+	for i := range events {
+		ev := &events[i]
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, `{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":0,"args":{`,
+			strconv.Quote(ev.Kind.String()), strconv.Quote(ev.Kind.Category()),
+			float64(ev.T)/1e3, ev.Node)
+		fmt.Fprintf(bw, `"seq":%d`, ev.Seq)
+		if !ev.Name.IsZero() {
+			fmt.Fprintf(bw, `,"name":%s`, strconv.Quote(ev.Name.String()))
+		}
+		if ev.Peer >= 0 {
+			fmt.Fprintf(bw, `,"peer":%d`, ev.Peer)
+		}
+		if ev.Size != 0 {
+			fmt.Fprintf(bw, `,"size":%d`, ev.Size)
+		}
+		if ev.Aux != 0 {
+			fmt.Fprintf(bw, `,"aux":%d`, ev.Aux)
+		}
+		if ev.Aux2 != 0 {
+			fmt.Fprintf(bw, `,"aux2":%d`, ev.Aux2)
+		}
+		if ev.Proc != "" {
+			fmt.Fprintf(bw, `,"proc":%s`, strconv.Quote(ev.Proc))
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteText writes events one per line in a stable, diff-friendly form
+// used by the determinism regression tests and for quick inspection.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		ev := &events[i]
+		fmt.Fprintf(bw, "%12d n%-3d %-16s", int64(ev.T), ev.Node, ev.Kind)
+		if !ev.Name.IsZero() {
+			fmt.Fprintf(bw, " %s", ev.Name)
+		}
+		if ev.Peer >= 0 {
+			fmt.Fprintf(bw, " peer=%d", ev.Peer)
+		}
+		if ev.Size != 0 {
+			fmt.Fprintf(bw, " size=%d", ev.Size)
+		}
+		if ev.Aux != 0 {
+			fmt.Fprintf(bw, " aux=%d", ev.Aux)
+		}
+		if ev.Aux2 != 0 {
+			fmt.Fprintf(bw, " aux2=%d", ev.Aux2)
+		}
+		if ev.Proc != "" {
+			fmt.Fprintf(bw, " proc=%s", ev.Proc)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

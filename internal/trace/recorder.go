@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"sync"
+
+	"samsys/internal/sim"
+)
+
+// Event is one recorded protocol event. Events are plain values; recording
+// one allocates nothing beyond amortized ring-buffer growth.
+type Event struct {
+	T    sim.Time // virtual time (simfab) or wall time since Run (gofab)
+	Seq  uint64   // global emission order, assigned by the Recorder
+	Node int32    // node (or host) the event happened on
+	Kind Kind
+	Name Name   // shared-data name, zero if not applicable
+	Peer int32  // other node involved, -1 if not applicable
+	Size int64  // bytes, kind-specific
+	Aux  int64  // kind-specific (see the Kind constants)
+	Aux2 int64  // kind-specific
+	Proc string // process name (EvProc* only)
+}
+
+// DefaultCapacity is the default per-node ring capacity in events.
+const DefaultCapacity = 1 << 16
+
+// Recorder collects events into per-node ring buffers. One Recorder spans
+// a whole run: the fabric feeds it transport and process events, the
+// runtime feeds it protocol events. It is safe for concurrent use (gofab
+// emits from one goroutine per node); under simfab the kernel serializes
+// execution, so the global sequence numbers are deterministic.
+type Recorder struct {
+	mu      sync.Mutex
+	clock   func() sim.Time
+	seq     uint64
+	perNode int
+	nodes   []*ring
+	dropped uint64
+	obs     []func(*Event)
+}
+
+// New creates a recorder with the default per-node capacity.
+func New() *Recorder { return &Recorder{perNode: DefaultCapacity} }
+
+// SetCapacity sets the per-node ring capacity (events kept per node;
+// older events are dropped first). Call before recording.
+func (r *Recorder) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.perNode = n
+	r.mu.Unlock()
+}
+
+// SetClock installs the time source used to stamp events that arrive
+// without a timestamp. The fabrics call this when a recorder is attached.
+func (r *Recorder) SetClock(fn func() sim.Time) {
+	r.mu.Lock()
+	r.clock = fn
+	r.mu.Unlock()
+}
+
+// Observe registers fn to run synchronously on every emitted event (after
+// stamping). The invariant Checker attaches itself this way. Observers
+// must not emit events.
+func (r *Recorder) Observe(fn func(*Event)) {
+	r.mu.Lock()
+	r.obs = append(r.obs, fn)
+	r.mu.Unlock()
+}
+
+// Emit records one event, stamping its time (if unset) and sequence
+// number, and runs the observers. Observers run under the recorder lock
+// so they see a serialized event stream even when nodes emit
+// concurrently (gofab); the deferred unlock keeps the recorder usable if
+// a fail-fast observer panics.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ev.T == 0 && r.clock != nil {
+		ev.T = r.clock()
+	}
+	r.seq++
+	ev.Seq = r.seq
+	node := int(ev.Node)
+	if node < 0 {
+		node = 0
+	}
+	for len(r.nodes) <= node {
+		r.nodes = append(r.nodes, &ring{})
+	}
+	if r.nodes[node].push(ev, r.perNode) {
+		r.dropped++
+	}
+	for _, fn := range r.obs {
+		fn(&ev)
+	}
+}
+
+// Len returns the number of events currently buffered across all nodes.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rg := range r.nodes {
+		n += rg.n
+	}
+	return n
+}
+
+// Dropped returns how many events were discarded to ring overflow.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns every buffered event merged into one stream ordered by
+// emission (which under simfab is also virtual-time order).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, rg := range r.nodes {
+		total += rg.n
+	}
+	out := make([]Event, 0, total)
+	// k-way merge by Seq: each per-node ring is already Seq-ordered.
+	idx := make([]int, len(r.nodes))
+	for len(out) < total {
+		best, bestSeq := -1, uint64(0)
+		for i, rg := range r.nodes {
+			if idx[i] >= rg.n {
+				continue
+			}
+			ev := rg.at(idx[i])
+			if best == -1 || ev.Seq < bestSeq {
+				best, bestSeq = i, ev.Seq
+			}
+		}
+		out = append(out, r.nodes[best].at(idx[best]))
+		idx[best]++
+	}
+	return out
+}
+
+// ring is a fixed-capacity event ring that drops the oldest event on
+// overflow. The buffer grows geometrically up to the capacity so small
+// runs stay small.
+type ring struct {
+	buf   []Event
+	start int
+	n     int
+}
+
+// push appends ev, dropping the oldest event if the ring is at cap.
+// It reports whether an event was dropped.
+func (g *ring) push(ev Event, cap_ int) bool {
+	if len(g.buf) < cap_ && g.n == len(g.buf) {
+		// Grow: 64 -> 2x -> ... -> cap. Rebase so start == 0.
+		newCap := len(g.buf) * 2
+		if newCap == 0 {
+			newCap = 64
+		}
+		if newCap > cap_ {
+			newCap = cap_
+		}
+		nb := make([]Event, newCap)
+		for i := 0; i < g.n; i++ {
+			nb[i] = g.at(i)
+		}
+		g.buf = nb
+		g.start = 0
+	}
+	if g.n == len(g.buf) { // at capacity: overwrite oldest
+		g.buf[g.start] = ev
+		g.start = (g.start + 1) % len(g.buf)
+		return true
+	}
+	g.buf[(g.start+g.n)%len(g.buf)] = ev
+	g.n++
+	return false
+}
+
+// at returns the i-th oldest buffered event.
+func (g *ring) at(i int) Event { return g.buf[(g.start+i)%len(g.buf)] }
+
+// --- sim.ProcTracer implementation ---
+// The Recorder plugs directly into the simulation kernel's process hooks;
+// host IDs map one-to-one to node IDs on simfab.
+
+// ProcStart records a process spawn.
+func (r *Recorder) ProcStart(t sim.Time, host int, name string, daemon bool) {
+	aux := int64(0)
+	if daemon {
+		aux = 1
+	}
+	r.Emit(Event{T: t, Node: int32(host), Kind: EvProcStart, Peer: -1, Aux: aux, Proc: name})
+}
+
+// ProcBlock records a process blocking for the given accounting reason.
+func (r *Recorder) ProcBlock(t sim.Time, host int, name string, reason int) {
+	r.Emit(Event{T: t, Node: int32(host), Kind: EvProcBlock, Peer: -1, Aux: int64(reason), Proc: name})
+}
+
+// ProcUnblock records a blocked process being resumed.
+func (r *Recorder) ProcUnblock(t sim.Time, host int, name string) {
+	r.Emit(Event{T: t, Node: int32(host), Kind: EvProcUnblock, Peer: -1, Proc: name})
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"samsys/internal/sim"
+)
+
+func TestKindNamesComplete(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if got := Kind(200).String(); got != "kind200" {
+		t.Errorf("out-of-range kind name = %q, want kind200", got)
+	}
+}
+
+func TestNameStringAndIsZero(t *testing.T) {
+	n := Name{Tag: 3, X: 1, Y: 2, Z: 4}
+	if got := n.String(); got != "3:1.2.4" {
+		t.Errorf("Name.String() = %q, want 3:1.2.4", got)
+	}
+	if n.IsZero() {
+		t.Error("non-zero name reported as zero")
+	}
+	if !(Name{}).IsZero() {
+		t.Error("zero name not reported as zero")
+	}
+}
+
+func TestRingGrowsThenDropsOldest(t *testing.T) {
+	const cap_ = 128
+	g := &ring{}
+	for i := 0; i < 300; i++ {
+		dropped := g.push(Event{Seq: uint64(i)}, cap_)
+		if want := i >= cap_; dropped != want {
+			t.Fatalf("push %d: dropped = %v, want %v", i, dropped, want)
+		}
+	}
+	if g.n != cap_ {
+		t.Fatalf("ring holds %d events, want %d", g.n, cap_)
+	}
+	// The survivors must be the newest cap_ events, oldest first.
+	for i := 0; i < g.n; i++ {
+		if want := uint64(300 - cap_ + i); g.at(i).Seq != want {
+			t.Fatalf("ring[%d].Seq = %d, want %d", i, g.at(i).Seq, want)
+		}
+	}
+}
+
+func TestRecorderMergesNodesBySeq(t *testing.T) {
+	r := New()
+	// Interleave emissions across three nodes.
+	for i := 0; i < 30; i++ {
+		r.Emit(Event{Node: int32(i % 3), Kind: EvTaskExec, Aux: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 30 {
+		t.Fatalf("Events() returned %d events, want 30", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d, want %d (merge not in emission order)", i, ev.Seq, i+1)
+		}
+		if ev.Aux != int64(i) {
+			t.Fatalf("event %d has Aux %d, want %d", i, ev.Aux, i)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRecorderDropsOldestPerNode(t *testing.T) {
+	r := New()
+	r.SetCapacity(16)
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Node: 0, Kind: EvTaskExec})
+	}
+	if r.Len() != 16 {
+		t.Fatalf("Len() = %d, want 16", r.Len())
+	}
+	if r.Dropped() != 84 {
+		t.Fatalf("Dropped() = %d, want 84", r.Dropped())
+	}
+	evs := r.Events()
+	if first := evs[0].Seq; first != 85 {
+		t.Fatalf("oldest surviving Seq = %d, want 85", first)
+	}
+}
+
+func TestRecorderClockStampsUnsetTimes(t *testing.T) {
+	r := New()
+	now := sim.Time(0)
+	r.SetClock(func() sim.Time { return now })
+	now = 42
+	r.Emit(Event{Node: 0, Kind: EvTaskExec})
+	r.Emit(Event{Node: 0, Kind: EvTaskExec, T: 7}) // pre-stamped: kept
+	evs := r.Events()
+	if evs[0].T != 42 || evs[1].T != 7 {
+		t.Fatalf("timestamps = %d, %d; want 42, 7", evs[0].T, evs[1].T)
+	}
+}
+
+func TestObserverSeesSerializedStream(t *testing.T) {
+	r := New()
+	var seen []uint64
+	r.Observe(func(ev *Event) { seen = append(seen, ev.Seq) })
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Node: int32(i), Kind: EvTaskExec})
+	}
+	if len(seen) != 5 {
+		t.Fatalf("observer saw %d events, want 5", len(seen))
+	}
+	for i, s := range seen {
+		if s != uint64(i+1) {
+			t.Fatalf("observer event %d has Seq %d, want %d", i, s, i+1)
+		}
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	r := New()
+	r.Emit(Event{T: 1000, Node: 0, Kind: EvMsgSend, Peer: 1, Size: 64, Aux: 1, Aux2: 2500})
+	r.Emit(Event{T: 2500, Node: 1, Kind: EvMsgDeliver, Peer: 0, Size: 64, Aux: 1})
+	r.Emit(Event{T: 3000, Node: 1, Kind: EvValPublish, Name: Name{Tag: 1, X: 7}, Aux: 3})
+	r.Emit(Event{T: 3500, Node: 0, Kind: EvProcStart, Peer: -1, Proc: `worker "a"`, Aux: 1})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exporter produced invalid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 2 process_name metadata records (nodes 0 and 1) + 4 events.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("traceEvents has %d entries, want 6", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[2] // first real event
+	if ev["name"] != "msg-send" || ev["cat"] != "fabric" || ev["ph"] != "i" {
+		t.Fatalf("unexpected first event: %v", ev)
+	}
+	if ts := ev["ts"].(float64); ts != 1.0 { // 1000ns -> 1µs
+		t.Fatalf("ts = %v µs, want 1", ts)
+	}
+	args := doc.TraceEvents[4]["args"].(map[string]any)
+	if args["name"] != "1:7.0.0" {
+		t.Fatalf("publish args = %v, want name 1:7.0.0", args)
+	}
+}
+
+func TestWriteTextStableForm(t *testing.T) {
+	r := New()
+	r.Emit(Event{T: 12, Node: 3, Kind: EvValUse, Name: Name{Tag: 1, X: 2}, Peer: -1, Aux: 1})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%12d n%-3d %-16s %s aux=1\n", 12, 3, "val-use", "1:2.0.0")
+	if buf.String() != want {
+		t.Fatalf("WriteText output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}

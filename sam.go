@@ -36,6 +36,7 @@ import (
 	"samsys/internal/core"
 	"samsys/internal/fabric"
 	"samsys/internal/pack"
+	"samsys/internal/trace"
 )
 
 // World is a SAM runtime spanning all nodes of a fabric.
@@ -67,3 +68,26 @@ func NewWorld(fab Fabric, opts Options) *World { return core.NewWorld(fab, opts)
 func N1(tag uint8, x int) Name       { return core.N1(tag, x) }
 func N2(tag uint8, x, y int) Name    { return core.N2(tag, x, y) }
 func N3(tag uint8, x, y, z int) Name { return core.N3(tag, x, y, z) }
+
+// TraceRecorder collects the runtime's structured event stream when set
+// as Options.Trace; see internal/trace for the event schema, exporters
+// and the online invariant checker.
+type TraceRecorder = trace.Recorder
+
+// TraceChecker validates a recorded event stream against the protocol
+// invariants (single assignment, exclusive accumulator ownership, cache
+// accounting, per-link FIFO delivery, message conservation) as events
+// are emitted.
+type TraceChecker = trace.Checker
+
+// NewTraceRecorder creates an empty trace recorder, ready to be passed
+// as Options.Trace (and, for virtual-time stamps, attached to a simfab
+// fabric with its SetTracer method).
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// NewTraceChecker creates an invariant checker; failf (which may be nil
+// to only collect violations) is called on the first violation. Attach
+// it to a recorder with its Attach method.
+func NewTraceChecker(failf func(format string, args ...any)) *TraceChecker {
+	return trace.NewChecker(failf)
+}
