@@ -1,0 +1,106 @@
+// Command samlint statically checks SAM client code for protocol
+// misuse: unbalanced Begin*/End* borrows, borrowed items that escape
+// their borrow, writes to single-assignment values, blocking while
+// holding an accumulator, and leaked per-process contexts.
+//
+// Usage:
+//
+//	samlint [-json] [-v] [packages]
+//
+// Packages are `go list` patterns (default "./..."). Exit status is 1
+// when findings remain after suppression, 2 on load or type errors, and
+// 0 otherwise. //samlint:ignore <analyzer> <reason> on the preceding
+// line suppresses a finding; -v echoes suppressed findings with their
+// reasons. See LINT.md for the analyzer catalog.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"samsys/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	verbose := flag.Bool("v", false, "also show suppressed findings with their reasons")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: samlint [-json] [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samlint:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(dir)
+	pkgs, err := loader.LoadPackages(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samlint:", err)
+		os.Exit(2)
+	}
+
+	loadFailed := false
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.Errs) > 0 {
+			loadFailed = true
+			for _, e := range pkg.Errs {
+				fmt.Fprintf(os.Stderr, "samlint: %s: %v\n", pkg.Path, e)
+			}
+		}
+		all = append(all, analysis.Run(pkg, analysis.Analyzers)...)
+	}
+
+	active := 0
+	var shown []analysis.Diagnostic
+	for _, d := range all {
+		if d.Suppressed {
+			if *verbose {
+				shown = append(shown, d)
+			}
+			continue
+		}
+		active++
+		shown = append(shown, d)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(shown); err != nil {
+			fmt.Fprintln(os.Stderr, "samlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range shown {
+			if d.Suppressed {
+				reason := d.Reason
+				if reason == "" {
+					reason = "no reason given"
+				}
+				fmt.Printf("%s [suppressed: %s]\n", d.String(), reason)
+				continue
+			}
+			fmt.Println(d.String())
+		}
+	}
+
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case active > 0:
+		os.Exit(1)
+	}
+}

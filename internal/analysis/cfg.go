@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds a minimal intra-function control-flow graph over one
+// function body. Blocks hold the statements and expressions executed in
+// order; edges model if/for/range/switch/select/branch control flow.
+// Calls to panic, os.Exit, log.Fatal* and t.Fatal* terminate a path, so
+// protocol obligations are not reported on paths that abort the process.
+
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	preds int
+
+	// exit marks a function exit: an explicit return or falling off the
+	// end of the body. ret is the return statement when explicit.
+	exit    bool
+	exitPos token.Pos
+	ret     *ast.ReturnStmt
+}
+
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	defers []*ast.DeferStmt
+}
+
+type branchFrame struct {
+	label string
+	brk   *cfgBlock
+	cont  *cfgBlock // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	pass   *Pass
+	g      *funcCFG
+	cur    *cfgBlock
+	frames []branchFrame
+	labels map[string]*cfgBlock
+}
+
+func (p *Pass) buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{pass: p, g: &funcCFG{}, labels: make(map[string]*cfgBlock)}
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.cur.exit = true
+		b.cur.exitPos = body.Rbrace
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+	to.preds++
+}
+
+// linkCur adds an edge from the current block if the path is live.
+func (b *cfgBuilder) linkCur(to *cfgBlock) {
+	if b.cur != nil {
+		b.link(b.cur, to)
+	}
+}
+
+// add appends an executed node to the current block, starting a fresh
+// (unreachable) block after a terminator if needed.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// labelBlock returns (creating on demand) the block a label names, for
+// goto targets and labeled statements.
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.EmptyStmt:
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.linkCur(lb)
+		b.cur = lb
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.exit = true
+		b.cur.exitPos = s.Pos()
+		b.cur.ret = s
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s, false); t != nil {
+				b.linkCur(t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findFrame(s, true); t != nil {
+				b.linkCur(t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.linkCur(b.labelBlock(s.Label.Name))
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the switch builder; nothing to do here.
+		}
+
+	case *ast.DeferStmt:
+		b.add(s) // arguments are evaluated now
+		b.g.defers = append(b.g.defers, s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmt(s.Body, "")
+		b.linkCur(after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.linkCur(after)
+		} else {
+			b.link(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock()
+		b.linkCur(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.frames = append(b.frames, branchFrame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.linkCur(cont)
+		b.frames = b.frames[:len(b.frames)-1]
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post, "")
+			b.linkCur(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.linkCur(head)
+		// The range statement itself is the head's node: the transfer
+		// function treats it as the per-iteration assignment of the key
+		// and value variables.
+		head.nodes = append(head.nodes, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		b.frames = append(b.frames, branchFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.linkCur(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		entry := b.cur
+		if entry == nil {
+			entry = b.newBlock()
+			b.cur = entry
+		}
+		after := b.newBlock()
+		b.frames = append(b.frames, branchFrame{label: label, brk: after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.link(entry, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm, "")
+			}
+			b.stmtList(comm.Body)
+			b.linkCur(after)
+		}
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no successors.
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.terminates(s.X) {
+			b.cur = nil
+		}
+
+	case *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.AssignStmt, *ast.DeclStmt:
+		b.add(s)
+
+	default:
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause blocks of a switch or type switch,
+// wiring fallthrough to the next clause.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, _ *cfgBlock) {
+	entry := b.cur
+	if entry == nil {
+		entry = b.newBlock()
+	}
+	after := b.newBlock()
+	blks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		blks[i] = b.newBlock()
+		b.link(entry, blks[i])
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(entry, after)
+	}
+	b.frames = append(b.frames, branchFrame{label: label, brk: after})
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = blks[i]
+		// The clause node itself marks the per-clause binding of a type
+		// switch variable (a kill point); its List expressions are
+		// evaluated by the transfer function.
+		b.add(cc)
+		body := cc.Body
+		ft := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				body = body[:n-1]
+				ft = true
+			}
+		}
+		b.stmtList(body)
+		if ft && i+1 < len(blks) {
+			b.linkCur(blks[i+1])
+			b.cur = nil
+		} else {
+			b.linkCur(after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// findFrame locates the target of a break or continue.
+func (b *cfgBuilder) findFrame(s *ast.BranchStmt, cont bool) *cfgBlock {
+	want := ""
+	if s.Label != nil {
+		want = s.Label.Name
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if cont && f.cont == nil {
+			continue
+		}
+		if want != "" && f.label != want {
+			continue
+		}
+		if cont {
+			return f.cont
+		}
+		return f.brk
+	}
+	return nil
+}
+
+// terminates reports whether evaluating e aborts the process or
+// goroutine (so the path has no protocol obligations at exit).
+func (b *cfgBuilder) terminates(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,744 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flow.go is the shared dataflow computation behind the protocol
+// analyzers (pairdiscipline, borrowescape, singleassign, holdblock).
+// Each function body is analyzed independently: a forward may-analysis
+// over the CFG tracks which borrows are open, which create borrows have
+// been published, which value names have been published, and which local
+// variables hold borrow results. Borrow instances are identified by
+// Begin* call site; Begin/End matching is by the textual name expression
+// (types.ExprString), which is how the paper's programs are written and
+// what makes the pairing check decidable.
+
+type borrowKind int
+
+const (
+	kindCreate borrowKind = iota
+	kindUse
+	kindAccum
+	kindChaotic
+)
+
+// kindEnd names the closing call for diagnostics.
+var kindEnd = map[borrowKind]string{
+	kindCreate:  "EndCreateValue",
+	kindUse:     "EndUseValue",
+	kindAccum:   "EndUpdateAccum",
+	kindChaotic: "EndReadChaotic",
+}
+
+func beginKind(op samOp) borrowKind {
+	switch op {
+	case opBeginCreate, opBeginRename:
+		return kindCreate
+	case opBeginUse:
+		return kindUse
+	case opBeginAccum:
+		return kindAccum
+	}
+	return kindChaotic
+}
+
+// endCloses maps a closing operation to the borrow kind it closes.
+func endCloses(op samOp) (borrowKind, bool) {
+	switch op {
+	case opEndCreate:
+		return kindCreate, true
+	case opEndUse:
+		return kindUse, true
+	case opEndAccum, opEndAccumToValue:
+		return kindAccum, true
+	case opEndChaotic:
+		return kindChaotic, true
+	}
+	return 0, false
+}
+
+// inst is one borrow instance: a Begin* call site.
+type inst struct {
+	op   samOp
+	kind borrowKind
+	key  string // canonicalized name expression
+	pos  token.Pos
+	free map[types.Object]bool // locals the key depends on
+}
+
+// pubFact records one publication (EndCreateValue, EndUpdateAccumToValue
+// or CreateValue) of a value name.
+type pubFact struct {
+	pos  token.Pos
+	free map[types.Object]bool
+}
+
+// flowState is the per-program-point fact set.
+type flowState struct {
+	open map[*inst]bool               // borrows possibly open here
+	done map[*inst]bool               // create borrows already published
+	pub  map[string]map[*pubFact]bool // value names already published
+	vars map[types.Object]map[*inst]bool
+}
+
+func newFlowState() *flowState {
+	return &flowState{
+		open: make(map[*inst]bool),
+		done: make(map[*inst]bool),
+		pub:  make(map[string]map[*pubFact]bool),
+		vars: make(map[types.Object]map[*inst]bool),
+	}
+}
+
+func (st *flowState) clone() *flowState {
+	c := newFlowState()
+	for k := range st.open {
+		c.open[k] = true
+	}
+	for k := range st.done {
+		c.done[k] = true
+	}
+	for key, set := range st.pub {
+		m := make(map[*pubFact]bool, len(set))
+		for f := range set {
+			m[f] = true
+		}
+		c.pub[key] = m
+	}
+	for obj, set := range st.vars {
+		m := make(map[*inst]bool, len(set))
+		for i := range set {
+			m[i] = true
+		}
+		c.vars[obj] = m
+	}
+	return c
+}
+
+// mergeFrom unions other into st and reports whether st changed.
+func (st *flowState) mergeFrom(other *flowState) bool {
+	changed := false
+	for k := range other.open {
+		if !st.open[k] {
+			st.open[k] = true
+			changed = true
+		}
+	}
+	for k := range other.done {
+		if !st.done[k] {
+			st.done[k] = true
+			changed = true
+		}
+	}
+	for key, set := range other.pub {
+		dst := st.pub[key]
+		if dst == nil {
+			dst = make(map[*pubFact]bool)
+			st.pub[key] = dst
+		}
+		for f := range set {
+			if !dst[f] {
+				dst[f] = true
+				changed = true
+			}
+		}
+	}
+	for obj, set := range other.vars {
+		dst := st.vars[obj]
+		if dst == nil {
+			dst = make(map[*inst]bool)
+			st.vars[obj] = dst
+		}
+		for i := range set {
+			if !dst[i] {
+				dst[i] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// protoResult caches the protocol analyzers' shared findings per Pass.
+type protoResult struct {
+	diags map[string][]Diagnostic
+}
+
+// protocol runs the shared dataflow over every function unit once.
+func (p *Pass) protocol() *protoResult {
+	if p.proto != nil {
+		return p.proto
+	}
+	res := &protoResult{diags: make(map[string][]Diagnostic)}
+	seen := make(map[string]bool)
+	for _, u := range p.funcUnits() {
+		fa := &flowAnalysis{
+			p:     p,
+			insts: make(map[*ast.CallExpr]*inst),
+			pubs:  make(map[*ast.CallExpr]*pubFact),
+			diags: make(map[string][]Diagnostic),
+		}
+		fa.run(u)
+		for name, ds := range fa.diags {
+			for _, d := range ds {
+				k := fmt.Sprintf("%s|%s:%d:%d|%s", name, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+				if !seen[k] {
+					seen[k] = true
+					res.diags[name] = append(res.diags[name], d)
+				}
+			}
+		}
+	}
+	p.proto = res
+	return res
+}
+
+type flowAnalysis struct {
+	p     *Pass
+	g     *funcCFG
+	insts map[*ast.CallExpr]*inst
+	pubs  map[*ast.CallExpr]*pubFact
+	emit  bool
+	diags map[string][]Diagnostic
+}
+
+func (fa *flowAnalysis) run(u funcUnit) {
+	fa.g = fa.p.buildCFG(u.body)
+	in := make(map[*cfgBlock]*flowState)
+	in[fa.g.entry] = newFlowState()
+	work := []*cfgBlock{fa.g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[b].clone()
+		for _, n := range b.nodes {
+			fa.transferNode(out, n)
+		}
+		for _, s := range b.succs {
+			if in[s] == nil {
+				in[s] = out.clone()
+				work = append(work, s)
+			} else if in[s].mergeFrom(out) {
+				work = append(work, s)
+			}
+		}
+	}
+	// Reporting pass: replay each reachable block once over its final
+	// in-state with diagnostics enabled.
+	fa.emit = true
+	for _, b := range fa.g.blocks {
+		start := in[b]
+		if start == nil {
+			continue // unreachable
+		}
+		st := start.clone()
+		for _, n := range b.nodes {
+			fa.transferNode(st, n)
+		}
+		if b.exit {
+			fa.atExit(st, b)
+		}
+	}
+}
+
+func (fa *flowAnalysis) line(pos token.Pos) int {
+	return fa.p.Pkg.Fset.Position(pos).Line
+}
+
+func (fa *flowAnalysis) report(analyzer string, pos token.Pos, msg, hint string) {
+	if !fa.emit {
+		return
+	}
+	fa.diags[analyzer] = append(fa.diags[analyzer], Diagnostic{
+		Pos:      fa.p.Pkg.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  msg,
+		Hint:     hint,
+	})
+}
+
+// --- transfer functions ---
+
+func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fa.assign(st, n)
+	case *ast.IncDecStmt:
+		fa.calls(st, n.X)
+		t := fa.p.resolveTarget(n.X)
+		fa.checkWrite(st, t, n.X.Pos())
+		if t.direct && t.obj != nil {
+			fa.killFacts(st, t.obj)
+			delete(st.vars, t.obj)
+		}
+	case *ast.RangeStmt:
+		// Per-iteration reassignment of the loop variables.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := fa.p.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = fa.p.Pkg.Info.Uses[id]
+			}
+			if obj != nil {
+				fa.killFacts(st, obj)
+				delete(st.vars, obj)
+			}
+		}
+	case *ast.CaseClause:
+		// In a type switch, each clause binds its own copy of the guard
+		// variable (Info.Implicits): a fresh assignment every iteration
+		// when the switch sits in a loop.
+		if obj := fa.p.Pkg.Info.Implicits[n]; obj != nil {
+			fa.killFacts(st, obj)
+			delete(st.vars, obj)
+		}
+		for _, e := range n.List {
+			fa.calls(st, e)
+		}
+	case *ast.SendStmt:
+		fa.calls(st, n.Chan)
+		fa.calls(st, n.Value)
+		for _, i := range fa.heldInsts(st, n.Value) {
+			fa.report("borrowescape", n.Value.Pos(),
+				fmt.Sprintf("Item from %s(%s) sent on a channel; the receiver may use it after %s invalidates it",
+					opName[i.op], i.key, kindEnd[i.kind]),
+				"copy the data into your own storage before sending")
+		}
+	case *ast.GoStmt:
+		fa.calls(st, n.Call)
+		fa.checkCapture(st, n.Call, "a spawned goroutine")
+		for _, a := range n.Call.Args {
+			for _, i := range fa.heldInsts(st, a) {
+				fa.report("borrowescape", a.Pos(),
+					fmt.Sprintf("Item from %s(%s) passed to a spawned goroutine, which may outlive the %s",
+						opName[i.op], i.key, kindEnd[i.kind]),
+					"copy the data out, or have the goroutine borrow the item itself")
+			}
+		}
+	case *ast.DeferStmt:
+		for _, a := range n.Call.Args {
+			fa.calls(st, a) // arguments are evaluated at the defer site
+		}
+	case *ast.ExprStmt:
+		fa.calls(st, n.X)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			fa.calls(st, r)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				fa.calls(st, v)
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i := range vs.Names {
+					fa.bindOne(st, vs.Names[i], vs.Values[i])
+				}
+			}
+		}
+	default:
+		fa.calls(st, n)
+	}
+}
+
+func (fa *flowAnalysis) assign(st *flowState, a *ast.AssignStmt) {
+	for _, r := range a.Rhs {
+		fa.calls(st, r)
+	}
+	for _, l := range a.Lhs {
+		fa.calls(st, l) // index/selector targets can contain calls
+	}
+	if len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			fa.bindOne(st, a.Lhs[i], a.Rhs[i])
+		}
+		return
+	}
+	for _, l := range a.Lhs {
+		fa.bindOne(st, l, nil)
+	}
+}
+
+// bindOne applies one lhs = rhs pair: escape and write-through checks,
+// then rebinding/kill of the assigned variable.
+func (fa *flowAnalysis) bindOne(st *flowState, lhs, rhs ast.Expr) {
+	t := fa.p.resolveTarget(lhs)
+	if rhs != nil && (t.field || t.global) {
+		dest := "a struct field"
+		if t.global {
+			dest = "a package-level variable"
+		}
+		for _, i := range fa.heldInsts(st, rhs) {
+			fa.report("borrowescape", rhs.Pos(),
+				fmt.Sprintf("Item from %s(%s) stored into %s, which outlives the %s",
+					opName[i.op], i.key, dest, kindEnd[i.kind]),
+				"the item is cache-owned and invalid after the borrow ends; copy the data instead")
+		}
+	}
+	fa.checkWrite(st, t, lhs.Pos())
+	if !t.direct || t.obj == nil {
+		return
+	}
+	fa.killFacts(st, t.obj)
+	delete(st.vars, t.obj)
+	if rhs == nil {
+		return
+	}
+	if i := fa.beginInst(rhs); i != nil {
+		st.vars[t.obj] = map[*inst]bool{i: true}
+		return
+	}
+	if obj := fa.p.usedIdent(rhs); obj != nil {
+		if m := st.vars[obj]; len(m) > 0 {
+			cp := make(map[*inst]bool, len(m))
+			for i := range m {
+				cp[i] = true
+			}
+			st.vars[t.obj] = cp
+		}
+	}
+}
+
+// checkWrite flags writes through a read-only borrow or through a value
+// item that has already been published.
+func (fa *flowAnalysis) checkWrite(st *flowState, t writeTarget, pos token.Pos) {
+	if t.direct || t.obj == nil {
+		return
+	}
+	for i := range st.vars[t.obj] {
+		if st.open[i] && (i.kind == kindUse || i.kind == kindChaotic) {
+			fa.report("singleassign", pos,
+				fmt.Sprintf("write through the read-only %s(%s) borrow", opName[i.op], i.key),
+				"use/chaotic borrows are read-only; mutate through BeginUpdateAccum instead")
+		}
+		if st.done[i] {
+			fa.report("singleassign", pos,
+				fmt.Sprintf("write to the item of %s after %s published it (values are single-assignment)",
+					i.key, kindEnd[i.kind]),
+				"published values are immutable; create a new value or use BeginRenameValue")
+		}
+	}
+}
+
+// killFacts drops facts that depend on obj, which has been reassigned:
+// published-name facts and done-create facts whose key mentions obj.
+func (fa *flowAnalysis) killFacts(st *flowState, obj types.Object) {
+	for key, set := range st.pub {
+		for f := range set {
+			if f.free[obj] {
+				delete(set, f)
+			}
+		}
+		if len(set) == 0 {
+			delete(st.pub, key)
+		}
+	}
+	for i := range st.done {
+		if i.free[obj] {
+			delete(st.done, i)
+		}
+	}
+}
+
+// heldInsts returns the open borrow instances e (an identifier or a
+// direct Begin* call) evaluates to.
+func (fa *flowAnalysis) heldInsts(st *flowState, e ast.Expr) []*inst {
+	var out []*inst
+	if i := fa.beginInst(e); i != nil && st.open[i] {
+		out = append(out, i)
+	}
+	if obj := fa.p.usedIdent(e); obj != nil {
+		for i := range st.vars[obj] {
+			if st.open[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// beginInst resolves e to the borrow instance of a direct Begin* call.
+func (fa *flowAnalysis) beginInst(e ast.Expr) *inst {
+	if c, ok := unwrap(e).(*ast.CallExpr); ok {
+		return fa.insts[c]
+	}
+	return nil
+}
+
+// calls applies every SAM runtime call inside n (not descending into
+// function literals, which are separate analysis units).
+func (fa *flowAnalysis) calls(st *flowState, n ast.Node) {
+	if n == nil {
+		return
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok {
+			fa.applyCall(st, c)
+		}
+		return true
+	})
+}
+
+func (fa *flowAnalysis) applyCall(st *flowState, call *ast.CallExpr) {
+	op := fa.p.samCall(call)
+	if op == opNone {
+		return
+	}
+	if op.blocking() {
+		for i := range st.open {
+			if i.kind != kindAccum {
+				continue
+			}
+			fa.report("holdblock", call.Pos(),
+				fmt.Sprintf("%s may block while holding BeginUpdateAccum(%s) from line %d; a blocked holder can deadlock other updaters of the accumulator",
+					opName[op], i.key, fa.line(i.pos)),
+				"finish the accumulator with EndUpdateAccum before any blocking operation")
+		}
+	}
+	switch op {
+	case opBeginCreate, opBeginRename, opBeginUse, opBeginAccum, opBeginChaotic:
+		if op == opBeginRename && len(call.Args) > 0 {
+			delete(st.pub, keyOf(call.Args[0])) // the old name is retired
+		}
+		i := fa.instFor(call, op)
+		st.open[i] = true
+		delete(st.done, i)
+	case opEndCreate, opEndUse, opEndAccum, opEndAccumToValue, opEndChaotic:
+		fa.closeOp(st, op, call)
+	case opCreateValue:
+		fa.publish(st, nameArg(op, call), call)
+	case opDestroyValue, opConvertToAccum:
+		delete(st.pub, keyOf(nameArg(op, call)))
+	case opSpawnTask, opSpawnWhenValues, opFetchValueAsync:
+		what := "an asynchronous task"
+		if op == opFetchValueAsync {
+			what = "a FetchValueAsync callback"
+		}
+		fa.checkCapture(st, call, what)
+	}
+}
+
+func (fa *flowAnalysis) instFor(call *ast.CallExpr, op samOp) *inst {
+	if i := fa.insts[call]; i != nil {
+		return i
+	}
+	ne := nameArg(op, call)
+	i := &inst{
+		op:   op,
+		kind: beginKind(op),
+		key:  keyOf(ne),
+		pos:  call.Pos(),
+		free: fa.p.freeVars(ne),
+	}
+	fa.insts[call] = i
+	return i
+}
+
+// closeOp closes the matching open borrow(s) and records publication.
+// An End with no matching Begin in this function is not flagged: that is
+// the closing half of a wrapper (e.g. dset.EndGet).
+func (fa *flowAnalysis) closeOp(st *flowState, op samOp, call *ast.CallExpr) {
+	kind, _ := endCloses(op)
+	ne := nameArg(op, call)
+	key := keyOf(ne)
+	for i := range st.open {
+		if i.kind == kind && i.key == key {
+			delete(st.open, i)
+			if kind == kindCreate {
+				st.done[i] = true
+			}
+		}
+	}
+	if op == opEndCreate || op == opEndAccumToValue {
+		fa.publish(st, ne, call)
+	}
+}
+
+// publish records that the name ne is now a published value, flagging a
+// second publication of the same name on the same path.
+func (fa *flowAnalysis) publish(st *flowState, ne ast.Expr, call *ast.CallExpr) {
+	key := keyOf(ne)
+	if key == "" {
+		return
+	}
+	if len(st.pub[key]) > 0 {
+		fa.report("singleassign", call.Pos(),
+			fmt.Sprintf("%s is published twice on this path (values are single-assignment)", key),
+			"a value name may be published once; use DestroyValue or BeginRenameValue to reuse it")
+	}
+	f := fa.pubs[call]
+	if f == nil {
+		f = &pubFact{pos: call.Pos(), free: fa.p.freeVars(ne)}
+		fa.pubs[call] = f
+	}
+	if st.pub[key] == nil {
+		st.pub[key] = make(map[*pubFact]bool)
+	}
+	st.pub[key][f] = true
+}
+
+// checkCapture flags function literals passed to call that capture a
+// variable holding an open borrow.
+func (fa *flowAnalysis) checkCapture(st *flowState, call *ast.CallExpr, what string) {
+	var lits []*ast.FuncLit
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		lits = append(lits, fl)
+	}
+	for _, a := range call.Args {
+		if fl, ok := unwrap(a).(*ast.FuncLit); ok {
+			lits = append(lits, fl)
+		}
+	}
+	for _, fl := range lits {
+		ast.Inspect(fl.Body, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := fa.p.Pkg.Info.Uses[id]
+			if obj == nil || (obj.Pos() >= fl.Pos() && obj.Pos() < fl.End()) {
+				return true
+			}
+			for i := range st.vars[obj] {
+				if !st.open[i] {
+					continue
+				}
+				fa.report("borrowescape", id.Pos(),
+					fmt.Sprintf("Item from %s(%s) captured by a closure passed to %s; the closure may run after %s invalidates it",
+						opName[i.op], i.key, what, kindEnd[i.kind]),
+					"copy the data out, or have the closure borrow the item itself")
+			}
+			return true
+		})
+	}
+}
+
+// atExit applies deferred End* calls, exempts borrows returned to the
+// caller (the wrapper pattern), and flags everything still open.
+func (fa *flowAnalysis) atExit(st *flowState, b *cfgBlock) {
+	for _, d := range fa.g.defers {
+		fa.applyDeferred(st, d)
+	}
+	returned := make(map[*inst]bool)
+	if b.ret != nil {
+		for _, r := range b.ret.Results {
+			switch x := unwrap(r).(type) {
+			case *ast.CallExpr:
+				if i := fa.insts[x]; i != nil {
+					returned[i] = true
+				}
+			case *ast.Ident:
+				if obj := fa.p.Pkg.Info.Uses[x]; obj != nil {
+					for i := range st.vars[obj] {
+						returned[i] = true
+					}
+				}
+			}
+		}
+	}
+	where := "the end of the function"
+	if b.ret != nil {
+		where = fmt.Sprintf("the return at line %d", fa.line(b.exitPos))
+	}
+	for i := range st.open {
+		if returned[i] {
+			continue
+		}
+		end := kindEnd[i.kind]
+		fa.report("pairdiscipline", i.pos,
+			fmt.Sprintf("%s(%s) is not matched by %s(%s) on the path to %s",
+				opName[i.op], i.key, end, i.key, where),
+			fmt.Sprintf("close the borrow with %s(%s) before this path leaves the function", end, i.key))
+	}
+}
+
+// applyDeferred applies the End* effects of one defer statement: either
+// a directly deferred SAM call or End* calls inside a deferred literal.
+func (fa *flowAnalysis) applyDeferred(st *flowState, d *ast.DeferStmt) {
+	fa.deferredCall(st, d.Call)
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				fa.deferredCall(st, c)
+			}
+			return true
+		})
+	}
+}
+
+func (fa *flowAnalysis) deferredCall(st *flowState, call *ast.CallExpr) {
+	op := fa.p.samCall(call)
+	if _, ok := endCloses(op); ok {
+		fa.closeOp(st, op, call)
+	}
+}
+
+// writeTarget describes the destination of an assignment left-hand side.
+type writeTarget struct {
+	obj    types.Object
+	direct bool // plain `v = ...`, no indirection
+	field  bool // path crosses a struct field
+	global bool // root is a package-level variable
+}
+
+// resolveTarget walks an assignment target down to its root variable.
+func (p *Pass) resolveTarget(e ast.Expr) writeTarget {
+	t := writeTarget{direct: true}
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := p.Pkg.Info.Defs[x]
+			if obj == nil {
+				obj = p.Pkg.Info.Uses[x]
+			}
+			t.obj = obj
+			if v, ok := obj.(*types.Var); ok && v.Parent() != nil &&
+				v.Parent().Parent() == types.Universe {
+				t.global = true
+			}
+			return t
+		case *ast.SelectorExpr:
+			if sel, ok := p.Pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				t.field = true
+				t.direct = false
+				e = x.X
+				continue
+			}
+			// Qualified reference to another package's variable.
+			if obj, ok := p.Pkg.Info.Uses[x.Sel].(*types.Var); ok && !obj.IsField() {
+				t.obj = obj
+				t.global = true
+				return t
+			}
+			return writeTarget{}
+		case *ast.IndexExpr:
+			t.direct = false
+			e = x.X
+		case *ast.StarExpr:
+			t.direct = false
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			t.direct = false
+			e = x.X
+		default:
+			return writeTarget{}
+		}
+	}
+}

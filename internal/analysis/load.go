@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader type-checks packages using only the standard library: package
+// metadata comes from `go list -json`, sources are parsed with go/parser
+// and checked with go/types, and imports are satisfied from source by
+// type-checking the dependency closure signature-only (IgnoreFuncBodies).
+// There is no dependency on golang.org/x/tools.
+
+// Package is one fully type-checked package under analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Errs holds type errors encountered while checking this package.
+	// Analyzers still run on a partially checked package, but callers
+	// should surface these (samlint exits with status 2).
+	Errs []error
+}
+
+// Loader loads and type-checks packages of one module. It caches the
+// type-checked dependency universe, so loading many targets (or many
+// ad-hoc file sets, as the golden tests do) pays for the standard
+// library only once.
+type Loader struct {
+	Dir  string // module directory `go list` runs in
+	fset *token.FileSet
+	pkgs map[string]*types.Package // import path -> checked package
+	meta map[string]*listPkg
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Error      *listPkgError
+}
+
+type listPkgError struct {
+	Err string
+}
+
+// NewLoader creates a loader rooted at the given module directory.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:  dir,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*types.Package),
+		meta: make(map[string]*listPkg),
+	}
+}
+
+// Fset returns the file set all loaded files are registered in.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list -e -json` with the given extra arguments and
+// decodes the stream of package objects.
+func (l *Loader) goList(args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// parseFiles parses the named files (absolute or relative to dir).
+func (l *Loader) parseFiles(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkDep type-checks one dependency package signature-only and caches
+// it. Errors are swallowed: a partially checked dependency is still
+// usable for resolving the signatures target code actually references.
+func (l *Loader) checkDep(p *listPkg) {
+	if _, ok := l.pkgs[p.ImportPath]; ok || p.ImportPath == "unsafe" {
+		return
+	}
+	files, err := l.parseFiles(p.Dir, p.GoFiles, parser.SkipObjectResolution)
+	if err != nil {
+		// Cache an empty placeholder so importers get a named package
+		// rather than a hard failure.
+		l.pkgs[p.ImportPath] = types.NewPackage(p.ImportPath, p.Name)
+		return
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {},
+	}
+	pkg, _ := conf.Check(p.ImportPath, l.fset, files, nil)
+	if pkg == nil {
+		pkg = types.NewPackage(p.ImportPath, p.Name)
+	}
+	l.pkgs[p.ImportPath] = pkg
+}
+
+// ensure loads and signature-checks the dependency closure of the given
+// import paths or patterns.
+func (l *Loader) ensure(paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if _, ok := l.meta[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	pkgs, err := l.goList(append([]string{"-deps"}, missing...)...)
+	if err != nil {
+		return err
+	}
+	// -deps emits dependencies before dependents, so a single pass
+	// checks everything in a valid order.
+	for _, p := range pkgs {
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			l.meta[p.ImportPath] = p
+			l.checkDep(p)
+		}
+	}
+	return nil
+}
+
+// Import implements types.Importer over the cached universe.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom. The dir and mode arguments
+// are ignored: import paths in `go list` metadata are already resolved.
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	// Standard-library vendored imports appear in source as their
+	// original path but are listed under vendor/.
+	if pkg, ok := l.pkgs["vendor/"+path]; ok {
+		return pkg, nil
+	}
+	if err := l.ensure([]string{path}); err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("package %q not found", path)
+}
+
+// newInfo returns an Info with every map analyses need populated.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check fully type-checks the given parsed files as one package.
+func (l *Loader) check(path, name string, files []*ast.File) *Package {
+	pkg := &Package{Path: path, Fset: l.fset, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, name)
+	}
+	pkg.Types = tpkg
+	return pkg
+}
+
+// LoadPackages loads the packages matching the given `go list` patterns
+// and fully type-checks each for analysis. Test files are not included.
+func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
+	roots, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var rootPaths []string
+	for _, r := range roots {
+		if r.Error != nil && len(r.GoFiles) == 0 {
+			return nil, fmt.Errorf("go list: %s: %s", r.ImportPath, r.Error.Err)
+		}
+		rootPaths = append(rootPaths, r.ImportPath)
+	}
+	if err := l.ensure(rootPaths); err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, r := range roots {
+		meta := l.meta[r.ImportPath]
+		if meta == nil {
+			meta = r
+		}
+		files, err := l.parseFiles(meta.Dir, meta.GoFiles,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l.check(meta.ImportPath, meta.Name, files))
+	}
+	return out, nil
+}
+
+// LoadFiles type-checks an ad-hoc set of Go files as one package named
+// path, resolving their imports through the module the loader is rooted
+// in. This is how the golden tests load testdata sources, which live
+// outside any buildable package.
+func (l *Loader) LoadFiles(path string, filenames ...string) (*Package, error) {
+	files, err := l.parseFiles(l.Dir, filenames,
+		parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "unsafe" && !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	if len(imports) > 0 {
+		if err := l.ensure(imports); err != nil {
+			return nil, err
+		}
+	}
+	name := "p"
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return l.check(path, name, files), nil
+}

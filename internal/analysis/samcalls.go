@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// samcalls.go recognizes calls to the SAM runtime API: method calls on
+// *core.Ctx (equivalently the sam.Ctx alias). Classification is by
+// method name plus receiver type identity, so helper methods with
+// coincidental names elsewhere are never matched.
+
+// ctxPkgPath is the package that defines the runtime's Ctx type.
+const ctxPkgPath = "samsys/internal/core"
+
+type samOp int
+
+const (
+	opNone samOp = iota
+
+	// Borrow-opening operations. All but opBeginCreate may block.
+	opBeginCreate  // BeginCreateValue(name, item, uses)
+	opBeginRename  // BeginRenameValue(old, new, uses); borrows under new
+	opBeginUse     // BeginUseValue(name)
+	opBeginAccum   // BeginUpdateAccum(name)
+	opBeginChaotic // BeginReadChaotic(name)
+
+	// Borrow-closing operations.
+	opEndCreate       // EndCreateValue(name) / EndRenameValue(name); publishes
+	opEndUse          // EndUseValue(name)
+	opEndAccum        // EndUpdateAccum(name)
+	opEndAccumToValue // EndUpdateAccumToValue(name, uses); publishes
+	opEndChaotic      // EndReadChaotic(name)
+
+	// Whole-item operations.
+	opCreateValue    // CreateValue(name, item, uses): publish in one step
+	opCreateAccum    // CreateAccum(name, item)
+	opDestroyValue   // DestroyValue(name): retires the published name
+	opConvertToAccum // ConvertValueToAccum(name): retires the value phase
+	opDoneValue      // DoneValue(name, k)
+	opPushValue      // PushValue(name, dst)
+
+	// Blocking non-borrow operations.
+	opBarrier  // Barrier()
+	opNextTask // NextTask()
+
+	// Asynchronous-callback operations (callbacks run in handler
+	// context, where using a Ctx is illegal).
+	opFetchValueAsync // FetchValueAsync(name, cb)
+	opSpawnTask       // SpawnTask(dst, task, size)
+	opSpawnWhenValues // SpawnTaskWhenValues(task, names...)
+)
+
+var samOpByName = map[string]samOp{
+	"BeginCreateValue":      opBeginCreate,
+	"BeginRenameValue":      opBeginRename,
+	"BeginUseValue":         opBeginUse,
+	"BeginUpdateAccum":      opBeginAccum,
+	"BeginReadChaotic":      opBeginChaotic,
+	"EndCreateValue":        opEndCreate,
+	"EndRenameValue":        opEndCreate,
+	"EndUseValue":           opEndUse,
+	"EndUpdateAccum":        opEndAccum,
+	"EndUpdateAccumToValue": opEndAccumToValue,
+	"EndReadChaotic":        opEndChaotic,
+	"CreateValue":           opCreateValue,
+	"CreateAccum":           opCreateAccum,
+	"DestroyValue":          opDestroyValue,
+	"ConvertValueToAccum":   opConvertToAccum,
+	"DoneValue":             opDoneValue,
+	"PushValue":             opPushValue,
+	"Barrier":               opBarrier,
+	"NextTask":              opNextTask,
+	"FetchValueAsync":       opFetchValueAsync,
+	"SpawnTask":             opSpawnTask,
+	"SpawnTaskWhenValues":   opSpawnWhenValues,
+}
+
+// opName gives the API name back for diagnostics.
+var opName = map[samOp]string{
+	opBeginCreate:     "BeginCreateValue",
+	opBeginRename:     "BeginRenameValue",
+	opBeginUse:        "BeginUseValue",
+	opBeginAccum:      "BeginUpdateAccum",
+	opBeginChaotic:    "BeginReadChaotic",
+	opEndCreate:       "EndCreateValue",
+	opEndUse:          "EndUseValue",
+	opEndAccum:        "EndUpdateAccum",
+	opEndAccumToValue: "EndUpdateAccumToValue",
+	opEndChaotic:      "EndReadChaotic",
+	opBarrier:         "Barrier",
+	opNextTask:        "NextTask",
+}
+
+// blocking reports whether the operation can suspend the calling
+// process: these are the calls that are unsafe while holding an
+// accumulator (paper section 3.2).
+func (op samOp) blocking() bool {
+	switch op {
+	case opBeginUse, opBeginAccum, opBeginRename, opBarrier, opNextTask:
+		return true
+	}
+	return false
+}
+
+// isCtxType reports whether t is core.Ctx or *core.Ctx.
+func isCtxType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		if p, ok := t.(*types.Pointer); ok {
+			n, ok = p.Elem().(*types.Named)
+			if !ok {
+				return false
+			}
+		} else {
+			return false
+		}
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == ctxPkgPath && obj.Name() == "Ctx"
+}
+
+// samCall classifies call. It returns opNone when call is not a SAM
+// runtime method call.
+func (p *Pass) samCall(call *ast.CallExpr) samOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone
+	}
+	op, ok := samOpByName[sel.Sel.Name]
+	if !ok {
+		return opNone
+	}
+	tv, ok := p.Pkg.Info.Types[sel.X]
+	if !ok || !isCtxType(tv.Type) {
+		return opNone
+	}
+	return op
+}
+
+// nameArg returns the Name argument that identifies the shared item the
+// operation acts on (for BeginRenameValue, the new name it borrows
+// under), or nil when the operation has none.
+func nameArg(op samOp, call *ast.CallExpr) ast.Expr {
+	var idx int
+	switch op {
+	case opBeginRename:
+		idx = 1
+	case opBarrier, opNextTask, opSpawnTask, opSpawnWhenValues:
+		return nil
+	default:
+		idx = 0
+	}
+	if idx >= len(call.Args) {
+		return nil
+	}
+	return call.Args[idx]
+}
+
+// keyOf canonicalizes a name expression to a comparison key. Matching is
+// textual: Begin/End pairs must name the item with the same expression,
+// which is both how the paper's programs are written and what makes the
+// pairing check decidable.
+func keyOf(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return types.ExprString(e)
+}
+
+// freeVars collects the local variables (including parameters and
+// captured outer variables) a name expression depends on. Reassigning
+// any of them changes which shared item the expression denotes.
+func (p *Pass) freeVars(e ast.Expr) map[types.Object]bool {
+	if e == nil {
+		return nil
+	}
+	vars := make(map[types.Object]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := p.Pkg.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+			// Package-level variables are excluded: tracking their
+			// reassignment across functions is out of scope.
+			if v.Parent() != nil && v.Parent().Parent() != types.Universe {
+				vars[v] = true
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// unwrap strips parentheses and type assertions: the form borrow results
+// are almost always consumed through (`x := c.BeginUseValue(n).(T)`).
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// usedIdent resolves e (after unwrapping) to the object of a plain
+// identifier use, or nil.
+func (p *Pass) usedIdent(e ast.Expr) types.Object {
+	if id, ok := unwrap(e).(*ast.Ident); ok {
+		return p.Pkg.Info.Uses[id]
+	}
+	return nil
+}

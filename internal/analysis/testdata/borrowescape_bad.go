@@ -1,0 +1,42 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const tag = 2
+
+type vec struct{ x float64 }
+
+type store struct{ last *vec }
+
+var lastSeen *vec
+
+func escapes(c *core.Ctx, i int, st *store, ch chan *vec) {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec)
+	st.last = v  // want borrowescape "struct field"
+	lastSeen = v // want borrowescape "package-level variable"
+	ch <- v      // want borrowescape "sent on a channel"
+	c.EndUseValue(core.N1(tag, i))
+}
+
+func capturedByGoroutine(c *core.Ctx, i int, done chan struct{}) {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec)
+	go func() {
+		_ = v.x // want borrowescape "captured by a closure"
+		close(done)
+	}()
+	c.EndUseValue(core.N1(tag, i))
+}
+
+func passedToGoroutine(c *core.Ctx, i int) {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec)
+	go consume(v) // want borrowescape "passed to a spawned goroutine"
+	c.EndUseValue(core.N1(tag, i))
+}
+
+func consume(v *vec) { _ = v.x }
+
+func (v *vec) SizeBytes() int   { return 16 }
+func (v *vec) Clone() pack.Item { cp := *v; return &cp }

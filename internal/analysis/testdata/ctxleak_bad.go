@@ -1,0 +1,25 @@
+package testdata
+
+import "samsys/internal/core"
+
+const tag = 5
+
+type worker struct{ ctx *core.Ctx }
+
+var globalCtx *core.Ctx
+
+func leaks(c *core.Ctx, w *worker) {
+	w.ctx = c          // want ctxleak "struct field"
+	globalCtx = c      // want ctxleak "package-level variable"
+	_ = worker{ctx: c} // want ctxleak "composite literal"
+	go helper(c)       // want ctxleak "passed to a spawned goroutine"
+	go func() {
+		c.Barrier() // want ctxleak "captured by a spawned goroutine"
+	}()
+	c.FetchValueAsync(core.N1(tag, 0), func(it core.Item) {
+		c.Compute(1) // want ctxleak "FetchValueAsync callback"
+		_ = it
+	})
+}
+
+func helper(c *core.Ctx) { c.Barrier() }

@@ -1,0 +1,20 @@
+package testdata
+
+import "samsys/internal/core"
+
+const tag = 5
+
+// passesDown hands the context only down its own call stack, and the
+// goroutine and callback work on plain data. Not a violation.
+func passesDown(c *core.Ctx, i int, out chan float64) {
+	sum := addOne(c, i)
+	go func(x float64) { out <- x }(sum)
+	c.FetchValueAsync(core.N1(tag, i), func(it core.Item) {
+		_ = it
+	})
+}
+
+func addOne(c *core.Ctx, i int) float64 {
+	c.Compute(1)
+	return float64(i) + 1
+}

@@ -1,0 +1,31 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const tag = 4
+
+type vec struct{ x float64 }
+
+func blocksWhileHolding(c *core.Ctx, i int) {
+	a := c.BeginUpdateAccum(core.N1(tag, i)).(*vec)
+	a.x++
+	c.Barrier()                                    // want holdblock "Barrier may block"
+	v := c.BeginUseValue(core.N1(tag, i+1)).(*vec) // want holdblock "BeginUseValue may block"
+	a.x += v.x
+	c.EndUseValue(core.N1(tag, i+1))
+	c.EndUpdateAccum(core.N1(tag, i))
+}
+
+func nestedAccums(c *core.Ctx, i, j int) {
+	a := c.BeginUpdateAccum(core.N1(tag, i)).(*vec)
+	b := c.BeginUpdateAccum(core.N1(tag, j)).(*vec) // want holdblock "BeginUpdateAccum may block"
+	b.x += a.x
+	c.EndUpdateAccum(core.N1(tag, j))
+	c.EndUpdateAccum(core.N1(tag, i))
+}
+
+func (v *vec) SizeBytes() int   { return 16 }
+func (v *vec) Clone() pack.Item { cp := *v; return &cp }

@@ -1,0 +1,27 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const tag = 4
+
+type vec struct{ x float64 }
+
+// finishesBeforeBlocking releases the accumulator before any operation
+// that can suspend the process. Not a violation.
+func finishesBeforeBlocking(c *core.Ctx, i int) {
+	a := c.BeginUpdateAccum(core.N1(tag, i)).(*vec)
+	a.x++
+	c.EndUpdateAccum(core.N1(tag, i))
+	c.Barrier()
+	v := c.BeginUseValue(core.N1(tag, i+1)).(*vec)
+	a2 := c.BeginUpdateAccum(core.N1(tag, i)).(*vec)
+	a2.x += v.x
+	c.EndUpdateAccum(core.N1(tag, i))
+	c.EndUseValue(core.N1(tag, i+1))
+}
+
+func (v *vec) SizeBytes() int   { return 16 }
+func (v *vec) Clone() pack.Item { cp := *v; return &cp }

@@ -1,0 +1,39 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const tag = 1
+
+type vec struct{ x, y float64 }
+
+func missingEndOnEarlyReturn(c *core.Ctx, i int, skip bool) float64 {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec) // want pairdiscipline "not matched by EndUseValue"
+	if skip {
+		return 0 // leaves the borrow open
+	}
+	s := v.x + v.y
+	c.EndUseValue(core.N1(tag, i))
+	return s
+}
+
+func chaoticBreakLeak(c *core.Ctx, n int) {
+	for i := 0; i < n; i++ {
+		v := c.BeginReadChaotic(core.N1(tag, i)).(*vec) // want pairdiscipline "not matched by EndReadChaotic"
+		if v.x > 0 {
+			break // leaves the borrow open
+		}
+		c.EndReadChaotic(core.N1(tag, i))
+	}
+}
+
+func mismatchedName(c *core.Ctx, i int) {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec) // want pairdiscipline "not matched by EndUseValue"
+	_ = v.x
+	c.EndUseValue(core.N1(tag, i+1)) // closes a different name
+}
+
+func (v *vec) SizeBytes() int   { return 16 }
+func (v *vec) Clone() pack.Item { cp := *v; return &cp }

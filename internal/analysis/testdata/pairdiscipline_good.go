@@ -1,0 +1,55 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const tag = 1
+
+type vec struct{ x, y float64 }
+
+func allPathsEnd(c *core.Ctx, i int, skip bool) float64 {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec)
+	if skip {
+		c.EndUseValue(core.N1(tag, i))
+		return 0
+	}
+	s := v.x
+	c.EndUseValue(core.N1(tag, i))
+	return s
+}
+
+func deferredEnd(c *core.Ctx, i int) float64 {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec)
+	defer c.EndUseValue(core.N1(tag, i))
+	if v.x < 0 {
+		return -v.x
+	}
+	return v.x
+}
+
+// beginGet hands the open borrow to its caller: the wrapper pattern
+// (compare dset.BeginGet). Not a violation.
+func beginGet(c *core.Ctx, i int) *vec {
+	return c.BeginUseValue(core.N1(tag, i)).(*vec)
+}
+
+// endGet is the closing half of the wrapper: an End with no local Begin
+// is never flagged.
+func endGet(c *core.Ctx, i int) {
+	c.EndUseValue(core.N1(tag, i))
+}
+
+func pairPerIteration(c *core.Ctx, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		v := c.BeginUseValue(core.N1(tag, i)).(*vec)
+		s += v.x
+		c.EndUseValue(core.N1(tag, i))
+	}
+	return s
+}
+
+func (v *vec) SizeBytes() int   { return 16 }
+func (v *vec) Clone() pack.Item { cp := *v; return &cp }

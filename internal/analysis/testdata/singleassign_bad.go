@@ -1,0 +1,37 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const tag = 3
+
+type vec struct{ x float64 }
+
+func writesThroughUseBorrow(c *core.Ctx, i int) {
+	v := c.BeginUseValue(core.N1(tag, i)).(*vec)
+	v.x = 1 // want singleassign "read-only"
+	c.EndUseValue(core.N1(tag, i))
+}
+
+func writesThroughChaoticBorrow(c *core.Ctx, i int) {
+	v := c.BeginReadChaotic(core.N1(tag, i)).(*vec)
+	v.x++ // want singleassign "read-only"
+	c.EndReadChaotic(core.N1(tag, i))
+}
+
+func writesAfterPublish(c *core.Ctx, i int) {
+	v := c.BeginCreateValue(core.N1(tag, i), &vec{}, core.UsesUnlimited).(*vec)
+	v.x = 1 // legal: the creation window
+	c.EndCreateValue(core.N1(tag, i))
+	v.x = 2 // want singleassign "published"
+}
+
+func publishesTwice(c *core.Ctx) {
+	c.CreateValue(core.N1(tag, 0), &vec{}, core.UsesUnlimited)
+	c.CreateValue(core.N1(tag, 0), &vec{}, core.UsesUnlimited) // want singleassign "published twice"
+}
+
+func (v *vec) SizeBytes() int   { return 16 }
+func (v *vec) Clone() pack.Item { cp := *v; return &cp }

@@ -1,0 +1,37 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const tag = 3
+
+type vec struct{ x float64 }
+
+// createWindow writes through the item between BeginCreateValue and
+// EndCreateValue: that window is exactly what the protocol allows.
+func createWindow(c *core.Ctx, i int) {
+	v := c.BeginCreateValue(core.N1(tag, i), &vec{}, core.UsesUnlimited).(*vec)
+	v.x = 1
+	c.EndCreateValue(core.N1(tag, i))
+}
+
+// publishPerIteration publishes a distinct name each iteration: the
+// name expression depends on i, so no name is published twice.
+func publishPerIteration(c *core.Ctx, n int) {
+	for i := 0; i < n; i++ {
+		c.CreateValue(core.N1(tag, i), &vec{x: float64(i)}, core.UsesUnlimited)
+	}
+}
+
+// accumWrites mutate through an accumulator borrow, which is the legal
+// way to update shared data in place.
+func accumWrites(c *core.Ctx, i int) {
+	a := c.BeginUpdateAccum(core.N1(tag, i)).(*vec)
+	a.x++
+	c.EndUpdateAccum(core.N1(tag, i))
+}
+
+func (v *vec) SizeBytes() int   { return 16 }
+func (v *vec) Clone() pack.Item { cp := *v; return &cp }

@@ -279,6 +279,11 @@ func computeCOM(c *core.Ctx, step int, created []octlib.Path, cfg Config) {
 					continue
 				}
 				cn := name(path.Child(oct))
+				// The upward pass reads child summaries while holding the
+				// parent's accumulator (paper sec 5.2). This cannot deadlock:
+				// child cells are strictly below the parent in the tree and
+				// are published bottom-up, so the wait is acyclic.
+				//samlint:ignore holdblock child values are published strictly bottom-up, so the wait while holding the parent accumulator is acyclic (paper sec 5.2)
 				ch := c.BeginUseValue(cn).(*octlib.Cell)
 				cl.Mass += ch.Mass
 				weighted = weighted.Add(ch.COM.Scale(ch.Mass))

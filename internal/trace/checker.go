@@ -26,9 +26,9 @@ type Checker struct {
 	failf      func(format string, args ...any)
 	violations []string
 
-	published map[Name]int32       // value name -> publishing node
-	accum     map[Name]*accState   // accumulator name -> exclusivity state
-	caches    map[int32]*cacheState// node -> byte accounting
+	published map[Name]int32        // value name -> publishing node
+	accum     map[Name]*accState    // accumulator name -> exclusivity state
+	caches    map[int32]*cacheState // node -> byte accounting
 	links     map[linkKey]*linkState
 }
 
