@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"samsys/internal/apps/cholesky"
+	"samsys/internal/apps/sparse"
+	"samsys/internal/core"
+	"samsys/internal/fabric/gofab"
+	"samsys/internal/machine"
+)
+
+// TestMain lets the test binary stand in for the samnode binary: when
+// re-executed with SAMNODE_TEST_MAIN=1 it runs main() instead of the
+// tests. spawnCluster re-execs os.Executable() with the parent's
+// environment, so the spawned ranks inherit the variable and become
+// samnode processes too.
+func TestMain(m *testing.M) {
+	if os.Getenv("SAMNODE_TEST_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runSamnode re-executes the test binary as samnode with the given flags
+// and returns its combined output.
+func runSamnode(t *testing.T, timeout time.Duration, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SAMNODE_TEST_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("samnode %v: %v\noutput:\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestCounterAcrossProcesses runs the accumulator smoke test on a
+// 3-process localhost cluster with tracing and verifies both the
+// application result and the offline transport invariant replay.
+func TestCounterAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	out := runSamnode(t, 2*time.Minute,
+		"-app", "counter", "-n", "3", "-trace", filepath.Join(dir, "ctr"))
+	if !strings.Contains(out, "counter ok: 300 increments across 3 processes") {
+		t.Fatalf("counter did not report success:\n%s", out)
+	}
+	if !strings.Contains(out, "trace ok") {
+		t.Fatalf("trace replay did not report success:\n%s", out)
+	}
+}
+
+// TestCholeskyMatchesGofab factors the same grid problem on a 4-process
+// netfab cluster and on gofab in-process, and checks the collected
+// factors agree to tolerance. Accumulator updates are applied in
+// scheduling order on real-time fabrics, so the comparison cannot be
+// bit-exact; see cholesky.MaxBlockDiff.
+func TestCholeskyMatchesGofab(t *testing.T) {
+	const (
+		grid  = 10
+		block = 4
+	)
+	dir := t.TempDir()
+	lpath := filepath.Join(dir, "L-net.json")
+	out := runSamnode(t, 3*time.Minute,
+		"-app", "cholesky", "-n", "4",
+		"-grid", "10", "-block", "4",
+		"-trace", filepath.Join(dir, "chol"), "-dump-l", lpath)
+	if !strings.Contains(out, "cholesky ok") {
+		t.Fatalf("cholesky did not report success:\n%s", out)
+	}
+	if !strings.Contains(out, "trace ok") {
+		t.Fatalf("trace replay did not report success:\n%s", out)
+	}
+
+	f, err := os.Open(lpath)
+	if err != nil {
+		t.Fatalf("open dumped factor: %v", err)
+	}
+	got, err := cholesky.ReadL(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("read dumped factor: %v", err)
+	}
+
+	m := sparse.Grid2D(grid, grid)
+	ref, err := cholesky.Run(gofab.New(machine.CM5, 4), core.Options{}, cholesky.Config{
+		Matrix: m, BlockSize: block, Collect: true,
+	})
+	if err != nil {
+		t.Fatalf("gofab reference run: %v", err)
+	}
+	diff, err := cholesky.MaxBlockDiff(got, ref.L)
+	if err != nil {
+		t.Fatalf("factor structures differ: %v", err)
+	}
+	if diff > 1e-8 {
+		t.Fatalf("netfab and gofab factors differ by %g (tolerance 1e-8)", diff)
+	}
+}
+
+// TestSpawnGuard checks the recursion guard: a process that was itself
+// spawned as a child must refuse to enter spawn mode (a broken flag
+// line would otherwise fork a new cluster from every rank).
+func TestSpawnGuard(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0], "-app", "counter", "-n", "2")
+	cmd.Env = append(os.Environ(), "SAMNODE_TEST_MAIN=1", "SAMNODE_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("spawned child entered spawn mode without error:\n%s", out)
+	}
+	if !strings.Contains(string(out), "refusing to spawn") {
+		t.Fatalf("expected recursion refusal, got: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,192 @@
+// netcholesky factors the same sparse SPD problem twice — once on gofab
+// inside this process, once on a 4-process netfab cluster it spawns on
+// localhost — and asserts the two factors agree numerically. It is the
+// end-to-end demonstration that SAM programs are fabric-portable: the
+// identical cholesky.Run call moves from goroutines sharing an address
+// space to OS processes exchanging TCP frames, and only rounding (from
+// scheduling-dependent accumulator update order) distinguishes the
+// results.
+//
+//	go run ./examples/netcholesky -grid 12 -block 4 -p 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"samsys/internal/apps/cholesky"
+	"samsys/internal/apps/sparse"
+	"samsys/internal/core"
+	"samsys/internal/fabric/gofab"
+	"samsys/internal/fabric/netfab"
+	"samsys/internal/machine"
+)
+
+var (
+	grid  = flag.Int("grid", 12, "grid dimension g of the g x g problem")
+	procs = flag.Int("p", 4, "cluster size (OS processes, and gofab nodes)")
+	block = flag.Int("b", 4, "block size")
+	tol   = flag.Float64("tol", 1e-8, "max allowed elementwise difference")
+)
+
+func main() {
+	flag.Parse()
+	if os.Getenv("NETCHOL_RANK") != "" {
+		if err := child(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := parent(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parent computes the gofab reference factor, spawns the netfab cluster,
+// and compares the results.
+func parent() error {
+	m := sparse.Grid2D(*grid, *grid)
+	fmt.Printf("problem: n=%d, nnz(A)=%d, block %d\n", m.N, m.NNZ(), *block)
+
+	ref, err := cholesky.Run(gofab.New(machine.CM5, *procs), core.Options{}, cholesky.Config{
+		Matrix: m, BlockSize: *block, Collect: true,
+	})
+	if err != nil {
+		return fmt.Errorf("gofab reference: %w", err)
+	}
+	fmt.Printf("gofab:  %d goroutine nodes, %d blocks, elapsed %v\n",
+		*procs, len(ref.L), ref.Elapsed)
+
+	got, elapsed, err := runNetfabCluster()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("netfab: %d OS processes,  %d blocks, elapsed %v\n",
+		*procs, len(got), elapsed)
+
+	diff, err := cholesky.MaxBlockDiff(got, ref.L)
+	if err != nil {
+		return fmt.Errorf("factor structures differ: %w", err)
+	}
+	if diff > *tol {
+		return fmt.Errorf("factors differ by %g, tolerance %g", diff, *tol)
+	}
+	fmt.Printf("match: max elementwise difference %.3g (tolerance %g)\n", diff, *tol)
+	return nil
+}
+
+// runNetfabCluster re-executes this binary once per rank and reads back
+// the factor that rank 0 collected and serialized.
+func runNetfabCluster() (map[[2]int32][]float64, time.Duration, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Reserve a rendezvous port for rank 0. Released before the child
+	// rebinds it — a benign race on one machine.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, 0, err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	dir, err := os.MkdirTemp("", "netcholesky")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	out := filepath.Join(dir, "L.json")
+
+	start := time.Now()
+	cmds := make([]*exec.Cmd, *procs)
+	for k := 0; k < *procs; k++ {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"NETCHOL_RANK="+strconv.Itoa(k),
+			"NETCHOL_N="+strconv.Itoa(*procs),
+			"NETCHOL_ADDR="+addr,
+			"NETCHOL_GRID="+strconv.Itoa(*grid),
+			"NETCHOL_BLOCK="+strconv.Itoa(*block),
+			"NETCHOL_OUT="+out,
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, 0, fmt.Errorf("spawn rank %d: %w", k, err)
+		}
+		cmds[k] = cmd
+	}
+	var firstErr error
+	for k, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w", k, err)
+		}
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	elapsed := time.Since(start)
+
+	f, err := os.Open(out)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rank 0 left no factor: %w", err)
+	}
+	defer f.Close()
+	l, err := cholesky.ReadL(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	return l, elapsed, nil
+}
+
+// child joins the netfab cluster as one rank and runs the factorization;
+// rank 0 serializes the collected factor for the parent.
+func child() error {
+	envInt := func(name string) int {
+		v, err := strconv.Atoi(os.Getenv(name))
+		if err != nil {
+			log.Fatalf("bad %s: %v", name, err)
+		}
+		return v
+	}
+	rank, n := envInt("NETCHOL_RANK"), envInt("NETCHOL_N")
+	cfg := netfab.Config{Rank: rank, N: n, Profile: machine.CM5}
+	if rank == 0 {
+		cfg.Listen = os.Getenv("NETCHOL_ADDR")
+	} else {
+		cfg.Rendezvous = os.Getenv("NETCHOL_ADDR")
+	}
+	fab, err := netfab.Join(cfg)
+	if err != nil {
+		return err
+	}
+	g := envInt("NETCHOL_GRID")
+	res, err := cholesky.Run(fab, core.Options{}, cholesky.Config{
+		Matrix:    sparse.Grid2D(g, g),
+		BlockSize: envInt("NETCHOL_BLOCK"),
+		Collect:   true,
+	})
+	if err != nil {
+		return err
+	}
+	if rank != 0 {
+		return nil
+	}
+	f, err := os.Create(os.Getenv("NETCHOL_OUT"))
+	if err != nil {
+		return err
+	}
+	if err := cholesky.WriteL(f, res.L); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,76 @@
+package cholesky
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Helpers for comparing factors across OS processes. A netfab run leaves
+// the collected factor in the process hosting node 0; to check it against
+// a reference computed elsewhere (a gofab run, another cluster size), that
+// process serializes the blocks with WriteL and the checking process loads
+// them with ReadL and measures MaxBlockDiff. Comparison is by tolerance,
+// not bit equality: accumulator updates commute only in exact arithmetic,
+// and real-time fabrics apply them in scheduling order, so two runs differ
+// in rounding even on one machine.
+
+// blockRec is one factor block in the serialized form.
+type blockRec struct {
+	I, J int32
+	Data []float64
+}
+
+// WriteL serializes a collected factor in a deterministic block order.
+func WriteL(w io.Writer, l map[[2]int32][]float64) error {
+	recs := make([]blockRec, 0, len(l))
+	for k, d := range l {
+		recs = append(recs, blockRec{I: k[0], J: k[1], Data: d})
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].I != recs[b].I {
+			return recs[a].I < recs[b].I
+		}
+		return recs[a].J < recs[b].J
+	})
+	return json.NewEncoder(w).Encode(recs)
+}
+
+// ReadL loads a factor serialized by WriteL.
+func ReadL(r io.Reader) (map[[2]int32][]float64, error) {
+	var recs []blockRec
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, err
+	}
+	l := make(map[[2]int32][]float64, len(recs))
+	for _, rec := range recs {
+		l[[2]int32{rec.I, rec.J}] = rec.Data
+	}
+	return l, nil
+}
+
+// MaxBlockDiff returns the largest absolute elementwise difference between
+// two collected factors, or an error if their block structures differ.
+func MaxBlockDiff(a, b map[[2]int32][]float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("factor structures differ: %d vs %d blocks", len(a), len(b))
+	}
+	worst := 0.0
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			return 0, fmt.Errorf("block (%d,%d) missing from second factor", k[0], k[1])
+		}
+		if len(av) != len(bv) {
+			return 0, fmt.Errorf("block (%d,%d) sizes differ: %d vs %d", k[0], k[1], len(av), len(bv))
+		}
+		for i := range av {
+			if d := math.Abs(av[i] - bv[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}

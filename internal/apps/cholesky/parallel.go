@@ -1,8 +1,6 @@
 package cholesky
 
 import (
-	"sync"
-
 	"samsys/internal/apps/sparse"
 	"samsys/internal/core"
 	"samsys/internal/fabric"
@@ -96,7 +94,6 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 	if cfg.Collect {
 		res.L = make(map[[2]int32][]float64)
 	}
-	var collectMu sync.Mutex
 	var elapsed sim.Time
 
 	// downstream[K] lists, for each block column K, the below-diagonal
@@ -198,19 +195,17 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 		if me == 0 {
 			elapsed = c.Now() - start
 		}
-		// Collection happens outside the measured phase.
-		if cfg.Collect {
+		// Collection happens outside the measured phase. Node 0 fetches
+		// every block, including remotely owned ones, so the process
+		// hosting node 0 ends up with the complete factor — on a
+		// multi-process fabric no other process could assemble it.
+		if cfg.Collect && me == 0 {
 			for j := int32(0); j < nb; j++ {
 				for _, i := range bl.Rows[j] {
-					if owners.owner(i, j) != me {
-						continue
-					}
 					v := c.BeginUseValue(name(i, j)).(pack.Float64s)
 					cp := append(pack.Float64s{}, v...)
 					c.EndUseValue(name(i, j))
-					collectMu.Lock()
 					res.L[[2]int32{i, j}] = cp
-					collectMu.Unlock()
 				}
 			}
 		}

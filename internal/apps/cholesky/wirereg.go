@@ -1,0 +1,45 @@
+package cholesky
+
+import (
+	"math"
+
+	"samsys/internal/wire"
+)
+
+// Wire registration of the Cholesky task descriptors, so the application
+// can run across OS processes on the netfab fabric (tasks travel inside
+// sam.task messages as self-described payloads).
+
+func encIJK(e *wire.Encoder, a, b, c int32) {
+	e.Varint(int64(a))
+	e.Varint(int64(b))
+	e.Varint(int64(c))
+}
+
+func decIdx(d *wire.Decoder) int32 {
+	v := d.Varint()
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		d.Failf("block index %d overflows int32", v)
+		return 0
+	}
+	return int32(v)
+}
+
+func init() {
+	wire.Register("chol.upd",
+		func(e *wire.Encoder, t updTask) { encIJK(e, t.i, t.j, t.k) },
+		func(d *wire.Decoder) updTask {
+			return updTask{i: decIdx(d), j: decIdx(d), k: decIdx(d)}
+		})
+	wire.Register("chol.gemm",
+		func(e *wire.Encoder, t gemmTask) { encIJK(e, t.i, t.j, t.k) },
+		func(d *wire.Decoder) gemmTask {
+			return gemmTask{i: decIdx(d), j: decIdx(d), k: decIdx(d)}
+		})
+	wire.Register("chol.fin",
+		func(e *wire.Encoder, t finTask) { e.Varint(int64(t.i)); e.Varint(int64(t.j)) },
+		func(d *wire.Decoder) finTask { return finTask{i: decIdx(d), j: decIdx(d)} })
+	wire.Register("chol.solve",
+		func(e *wire.Encoder, t solveTask) { e.Varint(int64(t.i)); e.Varint(int64(t.j)) },
+		func(d *wire.Decoder) solveTask { return solveTask{i: decIdx(d), j: decIdx(d)} })
+}

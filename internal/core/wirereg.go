@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+
+	"samsys/internal/pack"
+	"samsys/internal/wire"
+)
+
+// Wire registration of every core protocol message, so the SAM runtime can
+// run across OS processes on the netfab fabric. Encodings are canonical
+// (see package wire); the fuzz test in internal/wire exercises the
+// round-trip of every type registered here via WireSamples.
+
+func encName(e *wire.Encoder, n Name) {
+	e.Uint8(n.Tag)
+	e.Varint(int64(n.X))
+	e.Varint(int64(n.Y))
+	e.Varint(int64(n.Z))
+}
+
+func decName(d *wire.Decoder) Name {
+	tag := d.Uint8()
+	x, y, z := decI32(d), decI32(d), decI32(d)
+	return Name{Tag: tag, X: x, Y: y, Z: z}
+}
+
+// decI32 reads a signed varint constrained to int32 range; anything wider
+// is rejected so that decode(b) re-encodes to exactly b.
+func decI32(d *wire.Decoder) int32 {
+	v := d.Varint()
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		d.Failf("value %d overflows int32", v)
+		return 0
+	}
+	return int32(v)
+}
+
+// decItem reads one registered value and requires it to be a data item.
+func decItem(d *wire.Decoder) Item {
+	v := d.Any()
+	if d.Err() != nil {
+		return nil
+	}
+	it, ok := v.(Item)
+	if !ok {
+		d.Failf("payload %T is not a pack.Item", v)
+		return nil
+	}
+	return it
+}
+
+func init() {
+	wire.Register("sam.valCreated",
+		func(e *wire.Encoder, m msgValCreated) { encName(e, m.name); e.Int(m.owner); e.Varint(m.uses) },
+		func(d *wire.Decoder) msgValCreated {
+			return msgValCreated{name: decName(d), owner: d.Int(), uses: d.Varint()}
+		})
+	wire.Register("sam.valGet",
+		func(e *wire.Encoder, m msgValGet) { encName(e, m.name); e.Int(m.from) },
+		func(d *wire.Decoder) msgValGet { return msgValGet{name: decName(d), from: d.Int()} })
+	wire.Register("sam.valFwd",
+		func(e *wire.Encoder, m msgValFwd) { encName(e, m.name); e.Int(m.to) },
+		func(d *wire.Decoder) msgValFwd { return msgValFwd{name: decName(d), to: d.Int()} })
+	wire.Register("sam.valData",
+		func(e *wire.Encoder, m msgValData) { encName(e, m.name); e.Int(m.size); e.Any(m.item) },
+		func(d *wire.Decoder) msgValData {
+			return msgValData{name: decName(d), size: d.Int(), item: decItem(d)}
+		})
+	wire.Register("sam.copyNote",
+		func(e *wire.Encoder, m msgCopyNote) { encName(e, m.name); e.Int(m.holder) },
+		func(d *wire.Decoder) msgCopyNote { return msgCopyNote{name: decName(d), holder: d.Int()} })
+	wire.Register("sam.usesDone",
+		func(e *wire.Encoder, m msgUsesDone) { encName(e, m.name); e.Varint(m.k) },
+		func(d *wire.Decoder) msgUsesDone { return msgUsesDone{name: decName(d), k: d.Varint()} })
+	wire.Register("sam.valRelease",
+		func(e *wire.Encoder, m msgValRelease) { encName(e, m.name) },
+		func(d *wire.Decoder) msgValRelease { return msgValRelease{name: decName(d)} })
+	wire.Register("sam.renameReq",
+		func(e *wire.Encoder, m msgRenameReq) { encName(e, m.name); e.Int(m.from) },
+		func(d *wire.Decoder) msgRenameReq { return msgRenameReq{name: decName(d), from: d.Int()} })
+	wire.Register("sam.renameOK",
+		func(e *wire.Encoder, m msgRenameOK) { encName(e, m.name) },
+		func(d *wire.Decoder) msgRenameOK { return msgRenameOK{name: decName(d)} })
+	wire.Register("sam.destroy",
+		func(e *wire.Encoder, m msgDestroy) { encName(e, m.name) },
+		func(d *wire.Decoder) msgDestroy { return msgDestroy{name: decName(d)} })
+
+	wire.Register("sam.accCreated",
+		func(e *wire.Encoder, m msgAccCreated) { encName(e, m.name); e.Int(m.owner) },
+		func(d *wire.Decoder) msgAccCreated { return msgAccCreated{name: decName(d), owner: d.Int()} })
+	wire.Register("sam.accAcq",
+		func(e *wire.Encoder, m msgAccAcq) { encName(e, m.name); e.Int(m.from) },
+		func(d *wire.Decoder) msgAccAcq { return msgAccAcq{name: decName(d), from: d.Int()} })
+	wire.Register("sam.accFwd",
+		func(e *wire.Encoder, m msgAccFwd) { encName(e, m.name); e.Int(m.next) },
+		func(d *wire.Decoder) msgAccFwd { return msgAccFwd{name: decName(d), next: d.Int()} })
+	wire.Register("sam.accData",
+		func(e *wire.Encoder, m msgAccData) {
+			encName(e, m.name)
+			e.Int(m.size)
+			e.Varint(m.version)
+			e.Any(m.item)
+		},
+		func(d *wire.Decoder) msgAccData {
+			return msgAccData{name: decName(d), size: d.Int(), version: d.Varint(), item: decItem(d)}
+		})
+	wire.Register("sam.chaoticGet",
+		func(e *wire.Encoder, m msgChaoticGet) { encName(e, m.name); e.Int(m.from) },
+		func(d *wire.Decoder) msgChaoticGet { return msgChaoticGet{name: decName(d), from: d.Int()} })
+	wire.Register("sam.chaoticData",
+		func(e *wire.Encoder, m msgChaoticData) {
+			encName(e, m.name)
+			e.Int(m.size)
+			e.Varint(m.version)
+			e.Any(m.item)
+		},
+		func(d *wire.Decoder) msgChaoticData {
+			return msgChaoticData{name: decName(d), size: d.Int(), version: d.Varint(), item: decItem(d)}
+		})
+	wire.Register("sam.commitNote",
+		func(e *wire.Encoder, m msgCommitNote) { encName(e, m.name); e.Varint(m.version) },
+		func(d *wire.Decoder) msgCommitNote {
+			return msgCommitNote{name: decName(d), version: d.Varint()}
+		})
+	wire.Register("sam.invalidate",
+		func(e *wire.Encoder, m msgInvalidate) { encName(e, m.name) },
+		func(d *wire.Decoder) msgInvalidate { return msgInvalidate{name: decName(d)} })
+	wire.Register("sam.convert",
+		func(e *wire.Encoder, m msgConvert) {
+			encName(e, m.name)
+			e.Int(m.owner)
+			e.Bool(m.toValue)
+			e.Varint(m.uses)
+		},
+		func(d *wire.Decoder) msgConvert {
+			return msgConvert{name: decName(d), owner: d.Int(), toValue: d.Bool(), uses: d.Varint()}
+		})
+
+	wire.Register("sam.barrierArrive",
+		func(e *wire.Encoder, m msgBarrierArrive) { e.Varint(m.epoch); e.Int(m.from) },
+		func(d *wire.Decoder) msgBarrierArrive {
+			return msgBarrierArrive{epoch: d.Varint(), from: d.Int()}
+		})
+	wire.Register("sam.barrierRelease",
+		func(e *wire.Encoder, m msgBarrierRelease) { e.Varint(m.epoch) },
+		func(d *wire.Decoder) msgBarrierRelease { return msgBarrierRelease{epoch: d.Varint()} })
+
+	wire.Register("sam.task",
+		func(e *wire.Encoder, m msgTask) { e.Int(m.size); e.Any(m.task) },
+		func(d *wire.Decoder) msgTask { return msgTask{size: d.Int(), task: d.Any()} })
+	wire.Register("sam.idleReport",
+		func(e *wire.Encoder, m msgIdleReport) {
+			e.Int(m.from)
+			e.Varint(m.spawned)
+			e.Varint(m.processed)
+		},
+		func(d *wire.Decoder) msgIdleReport {
+			return msgIdleReport{from: d.Int(), spawned: d.Varint(), processed: d.Varint()}
+		})
+	wire.Register("sam.termProbe",
+		func(e *wire.Encoder, m msgTermProbe) { e.Varint(m.round) },
+		func(d *wire.Decoder) msgTermProbe { return msgTermProbe{round: d.Varint()} })
+	wire.Register("sam.termReply",
+		func(e *wire.Encoder, m msgTermReply) {
+			e.Varint(m.round)
+			e.Int(m.from)
+			e.Varint(m.spawned)
+			e.Varint(m.processed)
+			e.Bool(m.idle)
+		},
+		func(d *wire.Decoder) msgTermReply {
+			return msgTermReply{round: d.Varint(), from: d.Int(),
+				spawned: d.Varint(), processed: d.Varint(), idle: d.Bool()}
+		})
+	wire.Register("sam.terminate",
+		func(e *wire.Encoder, m msgTerminate) {},
+		func(d *wire.Decoder) msgTerminate { return msgTerminate{} })
+}
+
+// WireSamples returns one canonical encoding of every core protocol message
+// (with representative payloads), seeding the wire codec's round-trip fuzz
+// corpus without exporting the message types themselves.
+func WireSamples() [][]byte {
+	name := N3(7, 3, -2, 11)
+	item := pack.Float64s{1, 2.5, -3e9}
+	msgs := []any{
+		msgValCreated{name: name, owner: 1, uses: 4},
+		msgValGet{name: name, from: 2},
+		msgValFwd{name: name, to: 3},
+		msgValData{name: name, item: item, size: item.SizeBytes()},
+		msgCopyNote{name: name, holder: 5},
+		msgUsesDone{name: name, k: 2},
+		msgValRelease{name: name},
+		msgRenameReq{name: name, from: 1},
+		msgRenameOK{name: name},
+		msgDestroy{name: name},
+		msgAccCreated{name: name, owner: 0},
+		msgAccAcq{name: name, from: 6},
+		msgAccFwd{name: name, next: 2},
+		msgAccData{name: name, item: pack.Ints{4, -5}, size: 16, version: 9},
+		msgChaoticGet{name: name, from: 7},
+		msgChaoticData{name: name, item: pack.Bytes("snap"), size: 4, version: 3},
+		msgCommitNote{name: name, version: 12},
+		msgInvalidate{name: name},
+		msgConvert{name: name, owner: 4, toValue: true, uses: UsesUnlimited},
+		msgBarrierArrive{epoch: 3, from: 2},
+		msgBarrierRelease{epoch: 3},
+		msgTask{task: pack.Ints{1, 2, 3}, size: 24},
+		msgIdleReport{from: 1, spawned: 10, processed: 9},
+		msgTermProbe{round: 2},
+		msgTermReply{round: 2, from: 1, spawned: 10, processed: 10, idle: true},
+		msgTerminate{},
+	}
+	out := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		out[i] = wire.Marshal(m)
+	}
+	return out
+}

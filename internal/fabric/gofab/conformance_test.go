@@ -1,0 +1,15 @@
+package gofab
+
+import (
+	"testing"
+
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/fabtest"
+	"samsys/internal/machine"
+)
+
+func TestConformance(t *testing.T) {
+	fabtest.Run(t, func(n int) (fabric.Fabric, error) {
+		return New(machine.CM5, n), nil
+	})
+}

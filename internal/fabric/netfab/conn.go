@@ -1,0 +1,270 @@
+package netfab
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"samsys/internal/wire"
+)
+
+// Frame kinds. Every TCP segment stream is a sequence of length-prefixed
+// frames (uvarint byte count, then the body); the first body byte is the
+// kind. A connection's first frame declares its role: frRegister opens a
+// control connection to the rendezvous node, frHello opens a one-way data
+// link. Control frames implement the bootstrap and the end-of-run barrier;
+// frData carries one fabric message.
+const (
+	frRegister = iota + 1 // peer -> rank 0: rank, n, listen addr, registry hash
+	frWelcome             // rank 0 -> peer: n, addrs[0..n), registry hash
+	frReady               // peer -> rank 0: received the address map
+	frGo                  // rank 0 -> peer: everyone is ready, start Run
+	frDone                // peer -> rank 0: local application process finished
+	frAllDone             // rank 0 -> peer: every application finished, shut down
+	frHello               // dialer -> acceptor: src rank of this data link
+	frData                // one fabric message: modeled size, per-link seq, payload
+)
+
+// maxFrame bounds a frame body; data items are at most a few hundred MB in
+// any reasonable run, and a hostile length must not allocate unbounded
+// memory.
+const maxFrame = 1 << 30
+
+// writeFrame appends the uvarint length prefix and body to w. The caller
+// decides when to Flush (the per-peer writer batches).
+func writeFrame(w *bufio.Writer, body []byte) error {
+	var e wire.Encoder
+	e.Uvarint(uint64(len(body)))
+	if _, err := w.Write(e.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("netfab: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		c, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, fmt.Errorf("netfab: frame length overflows uint64")
+			}
+			return x | uint64(c)<<s, nil
+		}
+		if i == 9 {
+			return 0, fmt.Errorf("netfab: frame length overflows uint64")
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+}
+
+// dialRetry dials addr until it succeeds or the deadline passes, backing
+// off exponentially from 5ms to 300ms between attempts. Peers of a cluster
+// start in arbitrary order, so early dials routinely hit "connection
+// refused" — retry is part of the bootstrap contract, not error handling.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true) // frames are batched by the writer, not the kernel
+			}
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("netfab: dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > 300*time.Millisecond {
+			backoff = 300 * time.Millisecond
+		}
+	}
+}
+
+// outCap bounds each outgoing peer queue (frames). A full queue makes Send
+// service the local inbox while retrying, mirroring gofab's backpressure.
+const outCap = 1 << 12
+
+// peer is one outgoing data link: a dialed connection plus a writer
+// goroutine that batches queued frames into single flushes.
+type peer struct {
+	dst  int
+	out  chan []byte
+	conn net.Conn
+}
+
+// newPeer dials dst's listener, queues the link hello and starts the
+// batching writer.
+func (f *Fab) newPeer(dst int) (*peer, error) {
+	conn, err := dialRetry(f.addrs[dst], time.Now().Add(f.bootTimeout))
+	if err != nil {
+		return nil, fmt.Errorf("link %d->%d: %w", f.rank, dst, err)
+	}
+	var hello wire.Encoder
+	hello.Uint8(frHello)
+	hello.Int(f.rank)
+	p := &peer{dst: dst, out: make(chan []byte, outCap), conn: conn}
+	p.out <- hello.Bytes()
+	go f.writeLoop(p)
+	return p, nil
+}
+
+// writeLoop writes queued frames, coalescing every frame already in the
+// queue into one buffered write and flushing only when the queue drains
+// momentarily — sends issued back-to-back by the application (a push
+// followed by the task that consumes it, a burst of protocol replies)
+// leave in one TCP write. Closing p.out flushes and closes the connection.
+func (f *Fab) writeLoop(p *peer) {
+	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	defer p.conn.Close()
+	for {
+		frame, ok := <-p.out // block until there is something to write
+		if !ok {
+			bw.Flush()
+			return
+		}
+	batch:
+		for {
+			if err := writeFrame(bw, frame); err != nil {
+				f.fatalf("link %d->%d: write: %v", f.rank, p.dst, err)
+				return
+			}
+			select {
+			case frame, ok = <-p.out:
+				if !ok {
+					break batch
+				}
+			default:
+				break batch
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			f.fatalf("link %d->%d: flush: %v", f.rank, p.dst, err)
+			return
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// acceptLoop accepts incoming connections for the fabric's whole lifetime:
+// control registrations during bootstrap (rank 0) and data links any time.
+func (f *Fab) acceptLoop() {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			if !f.closing.Load() {
+				f.fatalf("accept: %v", err)
+			}
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		go f.serveConn(conn)
+	}
+}
+
+// serveConn classifies a new connection by its first frame and serves it.
+func (f *Fab) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	body, err := readFrame(br)
+	if err != nil {
+		if !f.closing.Load() {
+			f.fatalf("handshake read: %v", err)
+		}
+		conn.Close()
+		return
+	}
+	d := wire.NewDecoder(body)
+	switch kind := d.Uint8(); kind {
+	case frRegister:
+		if f.rank != 0 {
+			f.fatalf("registration frame on non-rendezvous node %d", f.rank)
+			conn.Close()
+			return
+		}
+		rank := d.Int()
+		n := d.Int()
+		addr := d.String()
+		hash := d.Uvarint()
+		if d.Err() != nil {
+			f.fatalf("bad registration: %v", d.Err())
+			conn.Close()
+			return
+		}
+		f.boot.regCh <- registration{conn: conn, br: br, rank: rank, n: n, addr: addr, hash: hash}
+	case frHello:
+		src := d.Int()
+		if d.Err() != nil || src < 0 || src >= f.n {
+			f.fatalf("bad link hello from %s", conn.RemoteAddr())
+			conn.Close()
+			return
+		}
+		f.readLoop(conn, br, src)
+	default:
+		f.fatalf("unexpected first frame kind %d from %s", kind, conn.RemoteAddr())
+		conn.Close()
+	}
+}
+
+// readLoop decodes data frames from one incoming link and queues them on
+// the node's inbox. One goroutine per link keeps per-(src,dst) FIFO order:
+// frames enter the inbox in exactly the order src wrote them.
+func (f *Fab) readLoop(conn net.Conn, br *bufio.Reader, src int) {
+	defer conn.Close()
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			// EOF after the cluster finished is the normal link teardown.
+			if !f.closing.Load() && err != io.EOF {
+				f.fatalf("link %d->%d: read: %v", src, f.rank, err)
+			}
+			return
+		}
+		d := wire.NewDecoder(body)
+		if kind := d.Uint8(); kind != frData {
+			f.fatalf("link %d->%d: unexpected frame kind %d", src, f.rank, kind)
+			return
+		}
+		size := d.Int()
+		seq := d.Varint()
+		payload := d.Any()
+		if d.Err() != nil {
+			f.fatalf("link %d->%d: decode: %v", src, f.rank, d.Err())
+			return
+		}
+		select {
+		case f.inbox <- inMsg{m: fabricMsg(src, f.rank, size, payload), seq: seq}:
+		case <-f.fail:
+			return
+		}
+	}
+}

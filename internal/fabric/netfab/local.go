@@ -1,0 +1,135 @@
+package netfab
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"samsys/internal/fabric"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+	"samsys/internal/trace"
+)
+
+// Cluster runs n netfab nodes inside one process, each a full Fab talking
+// real TCP over loopback. Nothing is shared between the nodes except the
+// sockets, so this exercises the entire wire path — encode, frame, batch,
+// dial, decode — while remaining a single address space that the race
+// detector and the in-process test harness can see. It implements
+// fabric.Fabric with the same aggregate semantics as simfab and gofab.
+type Cluster struct {
+	fabs    []*Fab
+	elapsed sim.Time
+}
+
+// NewLocal bootstraps an n-node loopback cluster. The rendezvous listener
+// is bound first so every rank knows the address before any rank joins.
+func NewLocal(prof machine.Profile, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netfab: need at least one node, got %d", n)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netfab: rendezvous listen: %w", err)
+	}
+	cl := &Cluster{fabs: make([]*Fab, n)}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		cfg := Config{
+			Rank: rank, N: n,
+			Rendezvous:  ln.Addr().String(),
+			Profile:     prof,
+			BootTimeout: 30 * time.Second,
+		}
+		if rank == 0 {
+			cfg.Listener = ln
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.fabs[rank], errs[rank] = Join(cfg)
+		}()
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			for _, f := range cl.fabs {
+				if f != nil {
+					f.shutdown()
+				}
+			}
+			return nil, fmt.Errorf("netfab: rank %d join: %w", rank, err)
+		}
+	}
+	return cl, nil
+}
+
+// N returns the node count.
+func (cl *Cluster) N() int { return cl.fabs[0].n }
+
+// Profile returns the machine profile used for accounting.
+func (cl *Cluster) Profile() machine.Profile { return cl.fabs[0].prof }
+
+// SetHandler installs the message handler on every node.
+func (cl *Cluster) SetHandler(h fabric.Handler) {
+	for _, f := range cl.fabs {
+		f.SetHandler(h)
+	}
+}
+
+// SetTracer attaches one recorder to every node; the recorder's own
+// locking merges the per-node event streams.
+func (cl *Cluster) SetTracer(r *trace.Recorder) {
+	for _, f := range cl.fabs {
+		f.SetTracer(r)
+	}
+}
+
+// Run executes app on every node concurrently and returns when the whole
+// cluster has finished. The first node error is returned.
+func (cl *Cluster) Run(app func(c fabric.Ctx)) error {
+	errs := make([]error, len(cl.fabs))
+	var wg sync.WaitGroup
+	for i, f := range cl.fabs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = f.Run(app)
+		}()
+	}
+	wg.Wait()
+	for _, f := range cl.fabs {
+		if f.elapsed > cl.elapsed {
+			cl.elapsed = f.elapsed
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Elapsed returns the longest per-node run time.
+func (cl *Cluster) Elapsed() sim.Time { return cl.elapsed }
+
+// Counters returns node i's counters, read from node i's Fab.
+func (cl *Cluster) Counters(node int) *stats.Counters {
+	return cl.fabs[node].Counters(node)
+}
+
+// Report merges the per-rank reports into one cluster-wide breakdown.
+func (cl *Cluster) Report() []stats.NodeReport {
+	reports := make([]stats.NodeReport, len(cl.fabs))
+	for i, f := range cl.fabs {
+		reports[i] = f.Report()[i]
+		reports[i].Total = cl.elapsed
+	}
+	return reports
+}
+
+var _ fabric.Fabric = (*Cluster)(nil)

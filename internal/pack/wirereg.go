@@ -1,0 +1,44 @@
+package pack
+
+import "samsys/internal/wire"
+
+// Wire registration of the concrete Item kinds, so data items can cross OS
+// process boundaries on the netfab fabric. pack.Value is deliberately not
+// registered: it wraps arbitrary reflected Go values whose encoding cannot
+// be made canonical (map iteration order); programs that run across
+// processes must use one of the explicit item kinds or register their own.
+func init() {
+	wire.Register("pack.Bytes",
+		func(e *wire.Encoder, b Bytes) { e.BytesLP(b) },
+		func(d *wire.Decoder) Bytes { return Bytes(d.BytesLP()) })
+	wire.Register("pack.Float64s",
+		func(e *wire.Encoder, f Float64s) {
+			e.Uvarint(uint64(len(f)))
+			for _, v := range f {
+				e.Float64(v)
+			}
+		},
+		func(d *wire.Decoder) Float64s {
+			n := d.Len(8)
+			f := make(Float64s, n)
+			for i := range f {
+				f[i] = d.Float64()
+			}
+			return f
+		})
+	wire.Register("pack.Ints",
+		func(e *wire.Encoder, v Ints) {
+			e.Uvarint(uint64(len(v)))
+			for _, x := range v {
+				e.Int(x)
+			}
+		},
+		func(d *wire.Decoder) Ints {
+			n := d.Len(1)
+			v := make(Ints, n)
+			for i := range v {
+				v[i] = d.Int()
+			}
+			return v
+		})
+}

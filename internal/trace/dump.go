@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Dump support for multi-process runs. A netfab cluster has one recorder
+// per OS process; each process writes its events with WriteDump and an
+// offline step merges the dumps and replays them through the invariant
+// checker with CheckTransport.
+//
+// Only the transport invariants — per-link FIFO delivery and message
+// conservation — are checkable from merged per-process dumps. Their
+// checker state is keyed per (src,dst) link, and each link's sends appear
+// in order in the source process's dump while its deliveries appear in
+// order in the destination's, so replaying all sends first and then all
+// deliveries presents the checker with a stream equivalent to some valid
+// global interleaving. The protocol-level invariants (single assignment,
+// accumulator exclusivity, reclamation, cache budget) compare state across
+// nodes at a single point in time; per-process wall clocks cannot be
+// merged into the totally ordered stream those checkers need, so they run
+// only on single-process fabrics (simfab, gofab, netfab's NewLocal) where
+// one recorder observes the whole cluster.
+
+// WriteDump writes events as JSON lines, one event per line.
+func WriteDump(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDump reads a JSON-lines dump written by WriteDump.
+func ReadDump(r io.Reader) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+}
+
+// CheckTransport replays the transport events of one dump per process
+// through the FIFO and conservation checkers. Dumps must be complete
+// (recorded with enough capacity that nothing was dropped); a dropped
+// send would surface as a spurious FIFO gap or conservation violation.
+func CheckTransport(dumps [][]Event) error {
+	var violations []string
+	ck := NewChecker(func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	})
+	for _, d := range dumps {
+		for i := range d {
+			if d[i].Kind == EvMsgSend {
+				ck.Observe(&d[i])
+			}
+		}
+	}
+	for _, d := range dumps {
+		for i := range d {
+			if d[i].Kind == EvMsgDeliver {
+				ck.Observe(&d[i])
+			}
+		}
+	}
+	if err := ck.Finish(); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("transport invariant violations: %v", violations)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	// Imported for their wire registrations: the fuzz target exercises the
+	// full registry a netfab process ships with (pack item kinds, every
+	// core protocol message, the Cholesky task descriptors).
+	_ "samsys/internal/apps/cholesky"
+	"samsys/internal/core"
+	"samsys/internal/pack"
+	"samsys/internal/wire"
+)
+
+// seeds returns one canonical encoding per registered message/item shape.
+func seeds() [][]byte {
+	s := core.WireSamples()
+	for _, it := range []any{
+		pack.Bytes("seed"),
+		pack.Float64s{3.14, -1e-9},
+		pack.Ints{42, -42},
+	} {
+		s = append(s, wire.Marshal(it))
+	}
+	return s
+}
+
+// FuzzRoundTrip feeds arbitrary bytes to the strict decoder; any input it
+// accepts must re-encode to exactly the input (canonical encoding), and
+// the decoded value must encode/decode to itself. This pins the property
+// netfab depends on: the wire form of a message is unique.
+func FuzzRoundTrip(f *testing.F) {
+	for _, s := range seeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := wire.Unmarshal(data)
+		if err != nil {
+			return // rejected input is fine; accepting non-canonical input is not
+		}
+		re := wire.Marshal(v)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode->encode not identity for %T:\n  in:  %x\n  out: %x", v, data, re)
+		}
+		v2, err := wire.Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode of %T failed: %v", v, err)
+		}
+		re2 := wire.Marshal(v2)
+		if !bytes.Equal(re2, re) {
+			t.Fatalf("second round trip diverged for %T", v)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// codec is one registered concrete type.
+type codec struct {
+	id   uint64
+	name string
+	typ  reflect.Type
+	enc  func(*Encoder, any)
+	dec  func(*Decoder) any
+}
+
+var reg struct {
+	mu     sync.RWMutex
+	byID   []*codec
+	byName map[string]*codec
+	byType map[reflect.Type]*codec
+}
+
+func init() {
+	reg.byName = make(map[string]*codec)
+	reg.byType = make(map[reflect.Type]*codec)
+}
+
+// Register installs the codec for concrete type T under a stable name.
+// Registration normally happens in package init functions; every process of
+// a cluster must register the same set of types (verified by Hash at
+// bootstrap). Registering the same name or type twice panics.
+func Register[T any](name string, enc func(*Encoder, T), dec func(*Decoder) T) {
+	typ := reflect.TypeOf((*T)(nil)).Elem()
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.byName[name]; dup {
+		panic(fmt.Sprintf("wire: duplicate registration of name %q", name))
+	}
+	if _, dup := reg.byType[typ]; dup {
+		panic(fmt.Sprintf("wire: duplicate registration of type %v", typ))
+	}
+	c := &codec{
+		id:   uint64(len(reg.byID)),
+		name: name,
+		typ:  typ,
+		enc:  func(e *Encoder, v any) { enc(e, v.(T)) },
+		dec:  func(d *Decoder) any { return dec(d) },
+	}
+	reg.byID = append(reg.byID, c)
+	reg.byName[name] = c
+	reg.byType[typ] = c
+}
+
+// Registered reports whether the dynamic type of v has a codec.
+func Registered(v any) bool {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	_, ok := reg.byType[reflect.TypeOf(v)]
+	return ok
+}
+
+// Names returns the registered type names sorted alphabetically.
+func Names() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]string, 0, len(reg.byName))
+	for n := range reg.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hash digests the registry (ids and names) so peers can verify at
+// bootstrap that they agree on every type id. Two processes built from the
+// same source registering in the same order produce the same hash.
+func Hash() uint64 {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	h := fnv.New64a()
+	for _, c := range reg.byID {
+		fmt.Fprintf(h, "%d=%s\n", c.id, c.name)
+	}
+	return h.Sum64()
+}
+
+// Any encodes a registered value as its type id followed by its body. It
+// panics if v's dynamic type is unregistered: sending an unregistered type
+// over a process boundary is a programming error, caught loudly.
+func (e *Encoder) Any(v any) {
+	reg.mu.RLock()
+	c := reg.byType[reflect.TypeOf(v)]
+	reg.mu.RUnlock()
+	if c == nil {
+		panic(fmt.Sprintf("wire: type %T is not registered (add a wire.Register call)", v))
+	}
+	e.Uvarint(c.id)
+	c.enc(e, v)
+}
+
+// Any decodes one id-prefixed value.
+func (d *Decoder) Any() any {
+	id := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	reg.mu.RLock()
+	var c *codec
+	if id < uint64(len(reg.byID)) {
+		c = reg.byID[id]
+	}
+	reg.mu.RUnlock()
+	if c == nil {
+		d.Failf("unknown type id %d", id)
+		return nil
+	}
+	return c.dec(d)
+}
+
+// Marshal encodes a registered value into a fresh buffer.
+func Marshal(v any) []byte {
+	var e Encoder
+	e.Any(v)
+	return e.Bytes()
+}
+
+// Unmarshal decodes exactly one value from b, rejecting trailing bytes.
+func Unmarshal(b []byte) (any, error) {
+	d := NewDecoder(b)
+	v := d.Any()
+	if d.err == nil && d.Remaining() != 0 {
+		d.Failf("%d trailing bytes after value", d.Remaining())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return v, nil
+}

@@ -1,0 +1,235 @@
+// Package wire is the binary codec the TCP fabric (internal/fabric/netfab)
+// uses to move SAM protocol messages and data items between OS processes.
+//
+// The codec is registry-based and self-describing: every concrete Go type
+// that crosses the wire is registered once under a stable string name, and
+// an encoded value carries the numeric id of its registration, so a frame
+// can be decoded without out-of-band type information. Peers verify at
+// bootstrap that they hold identical registries (see Hash), which is the
+// moral equivalent of the paper's requirement that every node runs the same
+// SPMD binary.
+//
+// Encodings are deterministic and canonical: integers are minimal-length
+// varints (zig-zag for signed), floats are fixed 8-byte little-endian IEEE
+// bits, and slices are length-prefixed. The decoder is strict — it rejects
+// non-minimal varints, truncated input, unknown type ids and trailing
+// garbage — so decode(encode(v)) == v and encode(decode(b)) == b both hold;
+// the round-trip fuzz test relies on exactly this property.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder appends canonical binary encodings to a growing buffer. The zero
+// value is ready to use.
+type Encoder struct {
+	b []byte
+}
+
+// Bytes returns the encoded buffer. The slice aliases the encoder's
+// internal storage.
+func (e *Encoder) Bytes() []byte { return e.b }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.b) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.b = e.b[:0] }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(u uint64) { e.b = binary.AppendUvarint(e.b, u) }
+
+// Varint appends a zig-zag signed varint.
+func (e *Encoder) Varint(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.Varint(int64(v)) }
+
+// Uint8 appends one raw byte.
+func (e *Encoder) Uint8(v uint8) { e.b = append(e.b, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Float64 appends the 8-byte little-endian IEEE-754 bits.
+func (e *Encoder) Float64(f float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(f))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Encoder) BytesLP(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+// Raw appends b with no length prefix (for callers that frame themselves).
+func (e *Encoder) Raw(b []byte) { e.b = append(e.b, b...) }
+
+// Decoder reads canonical encodings from a buffer. All methods are
+// error-latching: after the first failure every subsequent read returns a
+// zero value and Err reports the first error.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over b. The decoder does not copy b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+// Failf latches a decode error (used by registered decode functions to
+// reject semantically invalid input).
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint, rejecting truncated, overlong
+// (non-minimal) and overflowing encodings.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		if d.off >= len(d.b) {
+			d.Failf("truncated varint")
+			return 0
+		}
+		c := d.b[d.off]
+		d.off++
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				d.Failf("varint overflows uint64")
+				return 0
+			}
+			if i > 0 && c == 0 {
+				d.Failf("non-minimal varint")
+				return 0
+			}
+			return x | uint64(c)<<s
+		}
+		if i == 9 {
+			d.Failf("varint overflows uint64")
+			return 0
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+}
+
+// Varint reads a zig-zag signed varint.
+func (d *Decoder) Varint() int64 {
+	u := d.Uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Int reads a signed varint as an int.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// Uint8 reads one raw byte.
+func (d *Decoder) Uint8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.Failf("truncated byte")
+		return 0
+	}
+	c := d.b[d.off]
+	d.off++
+	return c
+}
+
+// Bool reads a bool, rejecting any byte other than 0 or 1 (canonical form).
+func (d *Decoder) Bool() bool {
+	c := d.Uint8()
+	if d.err != nil {
+		return false
+	}
+	if c > 1 {
+		d.Failf("non-canonical bool byte %d", c)
+		return false
+	}
+	return c == 1
+}
+
+// Float64 reads 8 little-endian IEEE-754 bytes.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.Failf("truncated float64")
+		return 0
+	}
+	u := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return math.Float64frombits(u)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.lpLen(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// BytesLP reads a length-prefixed byte slice (copied out of the buffer).
+func (d *Decoder) BytesLP() []byte {
+	n := d.lpLen(1)
+	if d.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.b[d.off:d.off+n])
+	d.off += n
+	return b
+}
+
+// Len reads a length prefix for a sequence whose elements occupy at least
+// elemSize bytes each, bounding it by the remaining input so hostile
+// lengths cannot force huge allocations.
+func (d *Decoder) Len(elemSize int) int { return d.lpLen(elemSize) }
+
+func (d *Decoder) lpLen(elemSize int) int {
+	u := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if u > uint64(d.Remaining()/elemSize) {
+		d.Failf("length %d exceeds remaining input", u)
+		return 0
+	}
+	return int(u)
+}
