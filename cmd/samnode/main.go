@@ -24,6 +24,15 @@
 // paper's sparse Cholesky factorization; -grid, -block, -push). With
 // -dump-l FILE, rank 0 collects the factor and serializes it for offline
 // comparison against a reference run.
+//
+// With -fault SCHEDULE every rank wraps its fabric in faultfab and runs
+// the shared fault schedule; each fault fires on the rank that owns it:
+//
+//	samnode -app cholesky -n 4 -fault 'reset:0>1@50'
+//	samnode -app counter -n 3 -fault 'crash:1@50'
+//
+// Recoverable faults (delays, link resets) must not change results;
+// crashes must fail every surviving rank with a bounded-time error.
 package main
 
 import (
@@ -40,6 +49,8 @@ import (
 	"samsys/internal/apps/cholesky"
 	"samsys/internal/apps/sparse"
 	"samsys/internal/core"
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/faultfab"
 	"samsys/internal/fabric/netfab"
 	"samsys/internal/machine"
 	"samsys/internal/pack"
@@ -56,6 +67,7 @@ var (
 	bootTimeout = flag.Duration("boot-timeout", 30*time.Second, "bootstrap and dial timeout")
 	tracePrefix = flag.String("trace", "", "dump transport trace to PREFIX-rank<K>.jsonl")
 	checkTrace  = flag.String("check-trace", "", "replay comma-separated trace dumps through the checkers and exit")
+	faultSpec   = flag.String("fault", "", "fault schedule, e.g. 'delay:0>1@20+2ms,reset:0>1@100,crash:2@500'")
 	dumpL       = flag.String("dump-l", "", "cholesky: rank 0 writes the collected factor to this file")
 
 	gridDim   = flag.Int("grid", 8, "cholesky: g for the g x g grid problem")
@@ -89,26 +101,53 @@ func joinAndRun() error {
 	}
 	fab, err := netfab.Join(netfab.Config{
 		Rank: *rank, N: *nNodes,
-		Rendezvous:  *rendezvous,
-		Listen:      *listen,
-		Profile:     prof,
-		BootTimeout: *bootTimeout,
+		Rendezvous: *rendezvous,
+		Listen:     *listen,
+		Profile:    prof,
+		Opts:       netfab.Options{Boot: *bootTimeout},
 	})
 	if err != nil {
 		return err
+	}
+	// Every rank parses the same schedule; faultfab triggers fire only for
+	// faults whose source is this process's rank, so one -fault string
+	// describes the whole cluster's faults.
+	var runFab fabric.Fabric = fab
+	var ff *faultfab.Fab
+	if *faultSpec != "" {
+		sched, err := faultfab.Parse(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-fault: %w", err)
+		}
+		ff = faultfab.New(fab, sched, faultfab.Options{})
+		runFab = ff
 	}
 	var rec *trace.Recorder
 	if *tracePrefix != "" {
 		rec = trace.New()
 		rec.SetCapacity(1 << 20)
-		fab.SetTracer(rec)
+		if ff != nil {
+			ff.SetTracer(rec) // records fault events, forwards to netfab
+		} else {
+			fab.SetTracer(rec)
+		}
 	}
 	app, ok := apps[*appName]
 	if !ok {
 		return fmt.Errorf("unknown app %q", *appName)
 	}
-	if err := app(fab); err != nil {
-		return err
+	appErr := app(fab, runFab)
+	if ff != nil {
+		for _, a := range ff.Applied() {
+			status := "applied"
+			if a.Skipped {
+				status = "skipped"
+			}
+			fmt.Printf("fault %s: %s %d>%d@%d\n", status, a.Kind, a.Src, a.Dst, a.Index)
+		}
+	}
+	if appErr != nil {
+		return appErr
 	}
 	if rec != nil {
 		if rec.Dropped() > 0 {
@@ -129,8 +168,10 @@ func joinAndRun() error {
 }
 
 // apps maps application names to runners. Each runs on one netfab node;
-// the same binary runs on every rank, SPMD style.
-var apps = map[string]func(fab *netfab.Fab) error{
+// the same binary runs on every rank, SPMD style. fab carries the rank
+// identity; run is the fabric the world executes on — the same fab, or a
+// faultfab wrapper when -fault is set.
+var apps = map[string]func(fab *netfab.Fab, run fabric.Fabric) error{
 	"counter":  runCounter,
 	"cholesky": runCholesky,
 }
@@ -138,10 +179,10 @@ var apps = map[string]func(fab *netfab.Fab) error{
 // runCounter increments a shared accumulator from every node and verifies
 // the total on node 0: the smallest end-to-end exercise of accumulator
 // migration over TCP.
-func runCounter(fab *netfab.Fab) error {
+func runCounter(fab *netfab.Fab, run fabric.Fabric) error {
 	const perNode = 100
 	var total int
-	w := core.NewWorld(fab, core.Options{})
+	w := core.NewWorld(run, core.Options{})
 	err := w.Run(func(c *core.Ctx) {
 		acc := core.N1(1, 1)
 		if c.Node() == 0 {
@@ -178,10 +219,10 @@ func runCounter(fab *netfab.Fab) error {
 // process builds the same matrix deterministically; the blocks are
 // distributed block-cyclically, so factor data moves between processes
 // through the SAM value/accumulator protocols over TCP.
-func runCholesky(fab *netfab.Fab) error {
+func runCholesky(fab *netfab.Fab, run fabric.Fabric) error {
 	m := sparse.Grid2D(*gridDim, *gridDim)
 	collect := *dumpL != "" && fab.Rank() == 0
-	res, err := cholesky.Run(fab, core.Options{}, cholesky.Config{
+	res, err := cholesky.Run(run, core.Options{}, cholesky.Config{
 		Matrix:    m,
 		BlockSize: *blockSize,
 		Push:      *push,
@@ -239,6 +280,9 @@ func spawnCluster() error {
 	}
 	if *tracePrefix != "" {
 		common = append(common, "-trace", *tracePrefix)
+	}
+	if *faultSpec != "" {
+		common = append(common, "-fault", *faultSpec)
 	}
 	if *dumpL != "" {
 		common = append(common, "-dump-l", *dumpL)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -42,6 +43,22 @@ func runSamnode(t *testing.T, timeout time.Duration, args ...string) string {
 		t.Fatalf("samnode %v: %v\noutput:\n%s", args, err, out)
 	}
 	return string(out)
+}
+
+// runSamnodeErr is runSamnode for runs that are expected to fail: it
+// returns the combined output and the exit error, and only aborts the
+// test if the process had to be killed at the timeout.
+func runSamnodeErr(t *testing.T, timeout time.Duration, args ...string) (string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SAMNODE_TEST_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("samnode %v did not exit within %v:\noutput:\n%s", args, timeout, out)
+	}
+	return string(out), err
 }
 
 // TestCounterAcrossProcesses runs the accumulator smoke test on a
@@ -105,6 +122,80 @@ func TestCholeskyMatchesGofab(t *testing.T) {
 	}
 	if diff > 1e-8 {
 		t.Fatalf("netfab and gofab factors differ by %g (tolerance 1e-8)", diff)
+	}
+}
+
+// TestCholeskyWithLinkReset reruns the 4-process factorization with an
+// injected data-link reset mid-run: rank 0 severs its connection to rank
+// 1 after its 50th message on that link. The transport must redial and
+// resend, the merged trace must still pass the FIFO/conservation replay,
+// and the factor must match the fault-free gofab reference.
+func TestCholeskyWithLinkReset(t *testing.T) {
+	const (
+		grid  = 10
+		block = 4
+	)
+	dir := t.TempDir()
+	lpath := filepath.Join(dir, "L-fault.json")
+	out := runSamnode(t, 3*time.Minute,
+		"-app", "cholesky", "-n", "4",
+		"-grid", "10", "-block", "4",
+		"-fault", "reset:0>1@50",
+		"-trace", filepath.Join(dir, "chol"), "-dump-l", lpath)
+	if !strings.Contains(out, "cholesky ok") {
+		t.Fatalf("cholesky did not report success:\n%s", out)
+	}
+	if !strings.Contains(out, "fault applied: reset 0>1@50") {
+		t.Fatalf("scheduled link reset never fired:\n%s", out)
+	}
+	if !strings.Contains(out, "trace ok") {
+		t.Fatalf("trace replay did not report success:\n%s", out)
+	}
+
+	f, err := os.Open(lpath)
+	if err != nil {
+		t.Fatalf("open dumped factor: %v", err)
+	}
+	got, err := cholesky.ReadL(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("read dumped factor: %v", err)
+	}
+	m := sparse.Grid2D(grid, grid)
+	ref, err := cholesky.Run(gofab.New(machine.CM5, 4), core.Options{}, cholesky.Config{
+		Matrix: m, BlockSize: block, Collect: true,
+	})
+	if err != nil {
+		t.Fatalf("gofab reference run: %v", err)
+	}
+	diff, err := cholesky.MaxBlockDiff(got, ref.L)
+	if err != nil {
+		t.Fatalf("factor structures differ: %v", err)
+	}
+	if diff > 1e-8 {
+		t.Fatalf("factor under link reset differs from reference by %g (tolerance 1e-8)", diff)
+	}
+}
+
+// TestRankKillAcrossProcesses schedules rank 1's death mid-factorization
+// and checks the cluster fails cleanly: the parent exits non-zero within
+// the deadline, the fault is named in the output, and every surviving
+// rank reports an error rather than hanging.
+func TestRankKillAcrossProcesses(t *testing.T) {
+	out, err := runSamnodeErr(t, 2*time.Minute,
+		"-app", "cholesky", "-n", "4",
+		"-grid", "10", "-block", "4",
+		"-fault", "crash:1@150")
+	if err == nil {
+		t.Fatalf("cluster survived a scheduled rank kill:\n%s", out)
+	}
+	if !strings.Contains(out, "scheduled crash after send 150") {
+		t.Fatalf("output does not name the injected fault:\n%s", out)
+	}
+	for _, rank := range []int{0, 2, 3} {
+		if !strings.Contains(out, "[rank "+fmt.Sprint(rank)+"] samnode:") {
+			t.Errorf("surviving rank %d reported no error:\n%s", rank, out)
+		}
 	}
 }
 

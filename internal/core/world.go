@@ -37,11 +37,17 @@ func NewWorld(fab fabric.Fabric, opts Options) *World {
 func (w *World) Options() Options { return w.opts }
 
 // Run starts app as the application process on every node (SPMD) and
-// returns when all of them finish.
+// returns when all of them finish. A fabric failure — a lost rank, an
+// unrecoverable link — surfaces here on every surviving node, wrapped so
+// callers can tell a runtime failure from an application error.
 func (w *World) Run(app func(*Ctx)) error {
-	return w.fab.Run(func(fc fabric.Ctx) {
+	err := w.fab.Run(func(fc fabric.Ctx) {
 		app(&Ctx{fc: fc, rt: w.nodes[fc.Node()], w: w})
 	})
+	if err != nil {
+		return fmt.Errorf("sam: world run: %w", err)
+	}
+	return nil
 }
 
 // handle dispatches one incoming message on its destination node.

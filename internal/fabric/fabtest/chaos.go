@@ -1,0 +1,164 @@
+package fabtest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/faultfab"
+	"samsys/internal/pack"
+	"samsys/internal/stats"
+	"samsys/internal/trace"
+)
+
+// RunChaos executes the chaos conformance matrix against the factory: the
+// same deterministic all-to-all workload under a fault-free schedule
+// (the reference), a random delay-only schedule, a single mid-stream link
+// reset, and a burst of resets across several links. Under every schedule
+// the suite asserts per-link FIFO, exactly-once delivery (via per-link
+// counts and the trace checker's conservation pass) and application
+// results identical to the fault-free run.
+//
+// Reset rules only sever real connections; on fabrics without them
+// (gofab) they are skipped by faultfab, and this suite then checks they
+// were skipped rather than half-applied. On netfab they must fire.
+func RunChaos(t *testing.T, mk Factory) {
+	var ref [chaosNodes]uint64
+	ok := t.Run("NoFaults", func(t *testing.T) {
+		ref = runChaosCase(t, mk, faultfab.Schedule{})
+	})
+	if !ok {
+		return
+	}
+	cases := []struct {
+		name  string
+		sched faultfab.Schedule
+	}{
+		{"DelayOnly", faultfab.GenerateDelays(1, chaosNodes, 6, chaosMsgs, 300*time.Microsecond)},
+		{"SingleReset", faultfab.Schedule{
+			Resets: []faultfab.Reset{{Src: 0, Dst: 1, Index: chaosMsgs / 2}},
+		}},
+		{"ResetDuringBurst", faultfab.Schedule{
+			Delays: []faultfab.Delay{{Src: 1, Dst: 0, Index: 30, Wait: 200 * time.Microsecond}},
+			Resets: []faultfab.Reset{
+				{Src: 0, Dst: 1, Index: 40},
+				{Src: 0, Dst: 1, Index: 45},
+				{Src: 1, Dst: 2, Index: 60},
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sums := runChaosCase(t, mk, tc.sched)
+			if sums != ref {
+				t.Errorf("schedule %q changed application results:\n  faulted:    %v\n  fault-free: %v",
+					tc.sched, sums, ref)
+			}
+		})
+	}
+}
+
+const (
+	chaosNodes = 3
+	chaosMsgs  = 150
+)
+
+// runChaosCase streams chaosMsgs sequence-numbered messages on every
+// directed link under the given fault schedule and returns one
+// order-sensitive checksum per node: a per-link chain (which FIFO makes
+// deterministic) folded commutatively over sources (so cross-link
+// interleaving cannot perturb it).
+func runChaosCase(t *testing.T, mk Factory, sched faultfab.Schedule) [chaosNodes]uint64 {
+	inner, err := mk(chaosNodes)
+	if err != nil {
+		t.Fatalf("new fabric: %v", err)
+	}
+	f := faultfab.New(inner, sched, faultfab.Options{})
+	rec := trace.New()
+	rec.SetCapacity(1 << 18)
+	var violations []string
+	ck := trace.NewChecker(func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	})
+	ck.Attach(rec)
+	f.SetTracer(rec)
+
+	n := f.N()
+	chain := make([][]uint64, n) // [dst][src] running per-link chain
+	last := make([][]int64, n)   // [dst][src] last seq, FIFO check
+	count := make([][]int, n)    // [dst][src] deliveries, exactly-once check
+	done := make([]fabric.Event, n)
+	for i := 0; i < n; i++ {
+		chain[i] = make([]uint64, n)
+		last[i] = make([]int64, n)
+		count[i] = make([]int, n)
+		for j := range last[i] {
+			last[i][j] = -1
+		}
+	}
+	want := (n - 1) * chaosMsgs
+	got := make([]int, n)
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+		seq := int64(m.Payload.(pack.Ints)[0])
+		if seq <= last[m.Dst][m.Src] {
+			t.Errorf("link %d->%d: seq %d after %d", m.Src, m.Dst, seq, last[m.Dst][m.Src])
+		}
+		last[m.Dst][m.Src] = seq
+		count[m.Dst][m.Src]++
+		chain[m.Dst][m.Src] = chain[m.Dst][m.Src]*1099511628211 + uint64(seq) + 1
+		got[m.Dst]++
+		if got[m.Dst] == want {
+			done[m.Dst].Signal()
+		}
+	})
+	err = f.Run(func(c fabric.Ctx) {
+		done[c.Node()] = c.NewEvent()
+		for k := 0; k < chaosMsgs; k++ {
+			for d := 0; d < n; d++ {
+				if d != c.Node() {
+					c.Send(d, 8, pack.Ints{k})
+				}
+			}
+		}
+		done[c.Node()].Wait(c, stats.Idle)
+	})
+	if err != nil {
+		t.Fatalf("run under schedule %q: %v", sched, err)
+	}
+
+	// Exactly-once: every link delivered each message exactly one time.
+	for d := 0; d < n; d++ {
+		for s := 0; s < n; s++ {
+			if s != d && count[d][s] != chaosMsgs {
+				t.Errorf("link %d->%d: delivered %d messages, want exactly %d",
+					s, d, count[d][s], chaosMsgs)
+			}
+		}
+	}
+	// Transport invariants over the merged trace (conservation catches
+	// any send the handler-side counts could not attribute).
+	if err := ck.Finish(); err != nil {
+		t.Errorf("trace checker under schedule %q: %v", sched, err)
+	}
+	if len(violations) > 0 {
+		t.Errorf("violations under schedule %q: %v", sched, violations)
+	}
+	// Reset rules must fire for real on fabrics that can sever links and
+	// be skipped (never half-applied) elsewhere.
+	_, canReset := inner.(faultfab.LinkResetter)
+	for _, a := range f.Applied() {
+		if a.Kind == "reset" && a.Skipped == canReset {
+			t.Errorf("reset %d->%d@%d skipped=%v on fabric where resettable=%v",
+				a.Src, a.Dst, a.Index, a.Skipped, canReset)
+		}
+	}
+
+	var sums [chaosNodes]uint64
+	for d := 0; d < n; d++ {
+		for s := 0; s < n; s++ {
+			sums[d] += chain[d][s]
+		}
+	}
+	return sums
+}

@@ -1,0 +1,246 @@
+package faultfab
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"samsys/internal/fabric"
+	"samsys/internal/machine"
+	"samsys/internal/sim"
+	"samsys/internal/stats"
+	"samsys/internal/trace"
+)
+
+// Killer is implemented by fabrics that can kill one rank in place, as if
+// its process had died (netfab). Discovered by type assertion; crash rules
+// are skipped on fabrics without it.
+type Killer interface {
+	InjectKill(rank int, reason string) bool
+}
+
+// LinkResetter is implemented by fabrics with real per-link connections
+// that can be severed (netfab). Discovered by type assertion; reset rules
+// are skipped on fabrics without it.
+type LinkResetter interface {
+	InjectLinkReset(src, dst int) bool
+}
+
+// Options tunes how faults are applied.
+type Options struct {
+	// Virtual charges delays to the sender as modeled stall time instead
+	// of sleeping, for virtual-time fabrics (simfab) where a real sleep
+	// would not perturb the simulation at all.
+	Virtual bool
+}
+
+// Applied is one schedule rule that fired, in the order rules fired
+// cluster-wide. Skipped records rules whose fault the inner fabric cannot
+// express (reset/crash on a connectionless fabric).
+type Applied struct {
+	Kind     string // "delay", "reset", "crash"
+	Src, Dst int    // Dst is -1 for crashes
+	Index    int64  // per-link send index (delay/reset) or total sends (crash)
+	Wait     time.Duration
+	Skipped  bool
+}
+
+// Fab wraps an inner fabric and applies a Schedule to its message flow.
+// All fabric semantics pass through unchanged except at scheduled points:
+// a delay holds the send, a reset severs the data link just before the
+// send, a crash kills the rank just after it. It implements fabric.Fabric
+// and composes over simfab, gofab and netfab clusters alike.
+type Fab struct {
+	inner fabric.Fabric
+	opts  Options
+	n     int
+
+	delays  map[link]map[int64]time.Duration
+	resets  map[link]map[int64]bool
+	crashes map[int]int64 // rank -> total-send count that triggers the kill
+
+	// Counters are touched only by the owning rank's app/handler context
+	// (which the fabric contract serializes), so no locks are needed.
+	linkSends []int64 // per (src,dst): src*n+dst
+	rankSends []int64 // per rank, across all destinations
+	crashed   []bool  // per rank: crash rule already fired
+
+	tr *trace.Recorder
+
+	mu      sync.Mutex
+	applied []Applied
+}
+
+type link struct{ src, dst int }
+
+// New wraps inner with the given fault schedule.
+func New(inner fabric.Fabric, sched Schedule, opts Options) *Fab {
+	n := inner.N()
+	f := &Fab{
+		inner:     inner,
+		opts:      opts,
+		n:         n,
+		delays:    make(map[link]map[int64]time.Duration),
+		resets:    make(map[link]map[int64]bool),
+		crashes:   make(map[int]int64),
+		linkSends: make([]int64, n*n),
+		rankSends: make([]int64, n),
+		crashed:   make([]bool, n),
+	}
+	for _, d := range sched.Delays {
+		m := f.delays[link{d.Src, d.Dst}]
+		if m == nil {
+			m = make(map[int64]time.Duration)
+			f.delays[link{d.Src, d.Dst}] = m
+		}
+		m[d.Index] = d.Wait
+	}
+	for _, r := range sched.Resets {
+		m := f.resets[link{r.Src, r.Dst}]
+		if m == nil {
+			m = make(map[int64]bool)
+			f.resets[link{r.Src, r.Dst}] = m
+		}
+		m[r.Index] = true
+	}
+	for _, c := range sched.Crashes {
+		if cur, ok := f.crashes[c.Rank]; !ok || c.Count < cur {
+			f.crashes[c.Rank] = c.Count // earliest crash per rank wins
+		}
+	}
+	return f
+}
+
+// Applied returns the faults that have fired so far, in firing order.
+func (f *Fab) Applied() []Applied {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Applied(nil), f.applied...)
+}
+
+func (f *Fab) logApplied(a Applied) {
+	f.mu.Lock()
+	f.applied = append(f.applied, a)
+	f.mu.Unlock()
+}
+
+// N returns the node count.
+func (f *Fab) N() int { return f.inner.N() }
+
+// Profile returns the inner fabric's machine profile.
+func (f *Fab) Profile() machine.Profile { return f.inner.Profile() }
+
+// Elapsed returns the inner fabric's run time.
+func (f *Fab) Elapsed() sim.Time { return f.inner.Elapsed() }
+
+// Counters returns node i's counters from the inner fabric.
+func (f *Fab) Counters(node int) *stats.Counters { return f.inner.Counters(node) }
+
+// Report returns the inner fabric's cost breakdown.
+func (f *Fab) Report() []stats.NodeReport { return f.inner.Report() }
+
+// SetHandler installs h; handler contexts are wrapped so sends from
+// handlers hit the fault schedule too.
+func (f *Fab) SetHandler(h fabric.Handler) {
+	f.inner.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+		h(&ctx{inner: hc, f: f}, m)
+	})
+}
+
+// SetTracer keeps the recorder for fault events and forwards it to the
+// inner fabric if it records transport events.
+func (f *Fab) SetTracer(r *trace.Recorder) {
+	f.tr = r
+	if st, ok := f.inner.(interface{ SetTracer(*trace.Recorder) }); ok {
+		st.SetTracer(r)
+	}
+}
+
+// Run runs app on the inner fabric with every context wrapped.
+func (f *Fab) Run(app func(c fabric.Ctx)) error {
+	return f.inner.Run(func(c fabric.Ctx) {
+		app(&ctx{inner: c, f: f})
+	})
+}
+
+// ctx wraps one node's execution context, intercepting Send.
+type ctx struct {
+	inner fabric.Ctx
+	f     *Fab
+}
+
+func (c *ctx) Node() int                       { return c.inner.Node() }
+func (c *ctx) N() int                          { return c.inner.N() }
+func (c *ctx) Profile() machine.Profile        { return c.inner.Profile() }
+func (c *ctx) Now() sim.Time                   { return c.inner.Now() }
+func (c *ctx) Charge(cat int, d sim.Time)      { c.inner.Charge(cat, d) }
+func (c *ctx) ChargeFlops(cat int, fl float64) { c.inner.ChargeFlops(cat, fl) }
+func (c *ctx) Counters() *stats.Counters       { return c.inner.Counters() }
+
+// Send applies any scheduled faults at this link's next send index, then
+// forwards to the inner fabric. Order: delay, then reset (so the held
+// send rides the repaired connection), then the send itself, then crash
+// (the rank completes its fatal send before dying).
+func (c *ctx) Send(dst, size int, payload any) {
+	f := c.f
+	src := c.inner.Node()
+	li := src*f.n + dst
+	f.linkSends[li]++
+	idx := f.linkSends[li]
+	f.rankSends[src]++
+	total := f.rankSends[src]
+
+	if wait, ok := f.delays[link{src, dst}][idx]; ok {
+		if tr := f.tr; tr != nil {
+			tr.Emit(trace.Event{Node: int32(src), Kind: trace.EvFaultDelay,
+				Peer: int32(dst), Aux: idx, Aux2: int64(wait)})
+		}
+		if f.opts.Virtual {
+			c.inner.Charge(stats.Stall, sim.Time(wait))
+		} else {
+			time.Sleep(wait)
+		}
+		f.logApplied(Applied{Kind: "delay", Src: src, Dst: dst, Index: idx, Wait: wait})
+	}
+	if f.resets[link{src, dst}][idx] {
+		fired := false
+		if lr, ok := f.inner.(LinkResetter); ok {
+			fired = lr.InjectLinkReset(src, dst)
+		}
+		if fired {
+			if tr := f.tr; tr != nil {
+				tr.Emit(trace.Event{Node: int32(src), Kind: trace.EvFaultReset,
+					Peer: int32(dst), Aux: idx})
+			}
+		}
+		f.logApplied(Applied{Kind: "reset", Src: src, Dst: dst, Index: idx, Skipped: !fired})
+	}
+
+	c.inner.Send(dst, size, payload)
+
+	if trig, ok := f.crashes[src]; ok && total >= trig && !f.crashed[src] {
+		f.crashed[src] = true
+		fired := false
+		if k, ok := f.inner.(Killer); ok {
+			if tr := f.tr; tr != nil {
+				tr.Emit(trace.Event{Node: int32(src), Kind: trace.EvFaultCrash,
+					Peer: -1, Aux: total})
+			}
+			fired = k.InjectKill(src, fmt.Sprintf("faultfab: scheduled crash after send %d", total))
+		}
+		f.logApplied(Applied{Kind: "crash", Src: src, Dst: -1, Index: total, Skipped: !fired})
+	}
+}
+
+// NewEvent wraps the inner event so Wait can unwrap the context: inner
+// fabrics type-assert their own ctx type inside Wait.
+func (c *ctx) NewEvent() fabric.Event { return &event{inner: c.inner.NewEvent()} }
+
+type event struct{ inner fabric.Event }
+
+func (e *event) Wait(fc fabric.Ctx, reason int) { e.inner.Wait(fc.(*ctx).inner, reason) }
+func (e *event) Signal()                        { e.inner.Signal() }
+func (e *event) Done() bool                     { return e.inner.Done() }
+
+var _ fabric.Fabric = (*Fab)(nil)
+var _ fabric.Ctx = (*ctx)(nil)

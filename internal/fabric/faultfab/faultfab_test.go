@@ -1,0 +1,347 @@
+package faultfab_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/fabtest"
+	"samsys/internal/fabric/faultfab"
+	"samsys/internal/fabric/gofab"
+	"samsys/internal/fabric/netfab"
+	"samsys/internal/machine"
+	"samsys/internal/pack"
+	"samsys/internal/trace"
+)
+
+// TestScheduleRoundTrip pins the schedule string format: faultfab.Parse(String())
+// must reproduce the schedule exactly, because soak failures are replayed
+// from the printed string.
+func TestScheduleRoundTrip(t *testing.T) {
+	s := faultfab.Schedule{
+		Delays: []faultfab.Delay{
+			{Src: 0, Dst: 1, Index: 5, Wait: 2 * time.Millisecond},
+			{Src: 2, Dst: 0, Index: 1, Wait: 750 * time.Microsecond},
+		},
+		Resets:  []faultfab.Reset{{Src: 0, Dst: 1, Index: 10}, {Src: 1, Dst: 2, Index: 3}},
+		Crashes: []faultfab.Crash{{Rank: 2, Count: 40}},
+	}
+	text := s.String()
+	back, err := faultfab.Parse(text)
+	if err != nil {
+		t.Fatalf("faultfab.Parse(%q): %v", text, err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the schedule:\n  in:  %+v\n  out: %+v\n  via: %q", s, back, text)
+	}
+	if empty, err := faultfab.Parse(""); err != nil || !empty.Empty() {
+		t.Errorf("faultfab.Parse(\"\") = %+v, %v; want empty schedule", empty, err)
+	}
+}
+
+// TestParseErrors covers malformed rule strings.
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"delay",                 // no args
+		"delay:0>1@5",           // missing wait
+		"delay:0>1@5+x",         // bad duration
+		"delay:0>1@0+1ms",       // index is 1-based
+		"reset:0@5",             // missing dst
+		"reset:0>1",             // missing index
+		"crash:1",               // missing count
+		"crash:-1@5",            // bad rank
+		"crash:1@0",             // count is 1-based
+		"stall:0>1@5",           // unknown kind
+		"delay:0>1@5+1ms,crash", // bad second rule
+	} {
+		if _, err := faultfab.Parse(bad); err == nil {
+			t.Errorf("faultfab.Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestGenerateDelaysDeterministic pins the seed contract: the same seed
+// yields the same schedule, different seeds differ.
+func TestGenerateDelaysDeterministic(t *testing.T) {
+	a := faultfab.GenerateDelays(42, 4, 8, 50, time.Millisecond)
+	b := faultfab.GenerateDelays(42, 4, 8, 50, time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different schedules:\n  %v\n  %v", a, b)
+	}
+	c := faultfab.GenerateDelays(43, 4, 8, 50, time.Millisecond)
+	if a.String() == c.String() {
+		t.Errorf("seeds 42 and 43 generated the same schedule %q", a)
+	}
+	if len(a.Delays) != 8 {
+		t.Errorf("got %d delays, want 8", len(a.Delays))
+	}
+	for _, d := range a.Delays {
+		if d.Src == d.Dst || d.Index < 1 || d.Wait < 1 {
+			t.Errorf("bad generated delay %+v", d)
+		}
+	}
+}
+
+// TestConformance runs the shared fabric contract suite through a
+// faultfab with a live delay schedule over gofab: injected delays must not
+// break any fabric semantics.
+func TestConformance(t *testing.T) {
+	fabtest.Run(t, func(n int) (fabric.Fabric, error) {
+		var sched faultfab.Schedule
+		if n > 1 {
+			sched = faultfab.GenerateDelays(7, n, 4, 20, 200*time.Microsecond)
+		}
+		return faultfab.New(gofab.New(machine.CM5, n), sched, faultfab.Options{}), nil
+	})
+}
+
+// TestDelayFires checks a scheduled delay is applied, logged and traced.
+func TestDelayFires(t *testing.T) {
+	sched := faultfab.Schedule{Delays: []faultfab.Delay{{Src: 0, Dst: 1, Index: 3, Wait: time.Millisecond}}}
+	f := faultfab.New(gofab.New(machine.CM5, 2), sched, faultfab.Options{})
+	rec := trace.New()
+	rec.SetCapacity(1 << 12)
+	f.SetTracer(rec)
+	var got atomic.Int64
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) { got.Add(1) })
+	err := f.Run(func(c fabric.Ctx) {
+		if c.Node() == 0 {
+			for i := 0; i < 5; i++ {
+				c.Send(1, 8, pack.Ints{i})
+			}
+		}
+		for c.Node() == 1 && got.Load() < 5 {
+			c.Charge(0, 1)
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := f.Applied()
+	if len(applied) != 1 || applied[0].Kind != "delay" || applied[0].Index != 3 || applied[0].Skipped {
+		t.Errorf("applied log = %+v, want one fired delay at index 3", applied)
+	}
+	var faults int
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.EvFaultDelay {
+			faults++
+			if ev.Node != 0 || ev.Peer != 1 || ev.Aux != 3 || ev.Aux2 != int64(time.Millisecond) {
+				t.Errorf("bad fault-delay event %+v", ev)
+			}
+		}
+	}
+	if faults != 1 {
+		t.Errorf("got %d fault-delay events, want 1", faults)
+	}
+}
+
+// TestResetAndCrashSkippedOnGofab: gofab has no connections to sever or
+// processes to kill; those rules must be logged as skipped, not applied,
+// and the run must succeed untouched.
+func TestResetAndCrashSkippedOnGofab(t *testing.T) {
+	sched := faultfab.Schedule{
+		Resets:  []faultfab.Reset{{Src: 0, Dst: 1, Index: 2}},
+		Crashes: []faultfab.Crash{{Rank: 0, Count: 4}},
+	}
+	f := faultfab.New(gofab.New(machine.CM5, 2), sched, faultfab.Options{})
+	var got atomic.Int64
+	f.SetHandler(func(fabric.Ctx, fabric.Message) { got.Add(1) })
+	err := f.Run(func(c fabric.Ctx) {
+		if c.Node() == 0 {
+			for i := 0; i < 6; i++ {
+				c.Send(1, 8, pack.Ints{i})
+			}
+		}
+		// Keep the receiver alive until everything lands: delivery stops
+		// when the run ends.
+		for c.Node() == 1 && got.Load() < 6 {
+			c.Charge(0, 1)
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 6 {
+		t.Errorf("delivered %d, want 6", got.Load())
+	}
+	applied := f.Applied()
+	if len(applied) != 2 {
+		t.Fatalf("applied log = %+v, want 2 skipped entries", applied)
+	}
+	for _, a := range applied {
+		if !a.Skipped {
+			t.Errorf("%s rule fired on gofab: %+v", a.Kind, a)
+		}
+	}
+}
+
+// TestResetFiresOverNetfab injects a scheduled link reset on a real TCP
+// cluster mid-burst: the reset must actually sever the connection (trace
+// shows link-down) and delivery must stay exactly-once and in order.
+func TestResetFiresOverNetfab(t *testing.T) {
+	cl, err := netfab.NewLocalOpts(machine.CM5, 2, netfab.Options{AckEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faultfab.Schedule{Resets: []faultfab.Reset{{Src: 0, Dst: 1, Index: 100}}}
+	f := faultfab.New(cl, sched, faultfab.Options{})
+	rec := trace.New()
+	rec.SetCapacity(1 << 18)
+	var violations []string
+	ck := trace.NewChecker(func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	})
+	ck.Attach(rec)
+	f.SetTracer(rec)
+	var got atomic.Int64
+	f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+		if hc.Node() == 1 {
+			got.Add(1)
+		}
+	})
+	const total = 200
+	err = f.Run(func(c fabric.Ctx) {
+		if c.Node() == 0 {
+			for i := 0; i < total; i++ {
+				c.Send(1, 8, pack.Ints{i})
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != total {
+		t.Errorf("delivered %d, want exactly %d", got.Load(), total)
+	}
+	applied := f.Applied()
+	if len(applied) != 1 || applied[0].Kind != "reset" || applied[0].Skipped {
+		t.Fatalf("applied log = %+v, want one fired reset", applied)
+	}
+	var resets, downs int
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case trace.EvFaultReset:
+			resets++
+		case trace.EvLinkDown:
+			downs++
+		}
+	}
+	if resets != 1 || downs == 0 {
+		t.Errorf("trace: %d fault-resets, %d link-downs; want 1, >=1", resets, downs)
+	}
+	if err := ck.Finish(); err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("violations: %v", violations)
+	}
+}
+
+// TestCrashFiresOverNetfab: a scheduled crash on a TCP cluster must kill
+// the rank and surface as a bounded-time error from Run naming the fault.
+func TestCrashFiresOverNetfab(t *testing.T) {
+	cl, err := netfab.NewLocal(machine.CM5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faultfab.Schedule{Crashes: []faultfab.Crash{{Rank: 1, Count: 5}}}
+	f := faultfab.New(cl, sched, faultfab.Options{})
+	f.SetHandler(func(fabric.Ctx, fabric.Message) {})
+	start := time.Now()
+	err = f.Run(func(c fabric.Ctx) {
+		for i := 1; ; i++ {
+			c.Send((c.Node()+1)%c.N(), 8, pack.Ints{i})
+			c.Charge(0, 1)
+		}
+	})
+	if err == nil {
+		t.Fatal("cluster survived a scheduled crash")
+	}
+	if !strings.Contains(err.Error(), "scheduled crash after send 5") {
+		t.Errorf("error does not name the fault: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("crash took %v to surface", elapsed)
+	}
+	for _, a := range f.Applied() {
+		if a.Kind == "crash" && !a.Skipped {
+			return
+		}
+	}
+	t.Errorf("no fired crash in applied log: %+v", f.Applied())
+}
+
+// TestDeterministicReplay pins the acceptance criterion: the same
+// schedule over gofab applies the identical fault set and produces the
+// identical checker verdict on every run.
+func TestDeterministicReplay(t *testing.T) {
+	sched := faultfab.GenerateDelays(99, 3, 6, 10, 300*time.Microsecond)
+	run := func() ([]faultfab.Applied, []string, error) {
+		f := faultfab.New(gofab.New(machine.CM5, 3), sched, faultfab.Options{})
+		rec := trace.New()
+		rec.SetCapacity(1 << 16)
+		var violations []string
+		ck := trace.NewChecker(func(format string, args ...any) {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		})
+		ck.Attach(rec)
+		f.SetTracer(rec)
+		var recv [3]atomic.Int64
+		f.SetHandler(func(hc fabric.Ctx, m fabric.Message) {
+			recv[hc.Node()].Add(1)
+		})
+		err := f.Run(func(c fabric.Ctx) {
+			for i := 0; i < 20; i++ {
+				for d := 0; d < c.N(); d++ {
+					if d != c.Node() {
+						c.Send(d, 8, pack.Ints{i})
+					}
+				}
+			}
+			// Quiesce: stay alive until everything addressed to this node
+			// has been delivered, so conservation holds at Finish.
+			for recv[c.Node()].Load() < int64(20*(c.N()-1)) {
+				c.Charge(0, 1)
+				time.Sleep(100 * time.Microsecond)
+			}
+		})
+		if ferr := ck.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+		applied := f.Applied()
+		// Cluster-wide firing order interleaves rank goroutines; the
+		// deterministic object is the set, so compare in canonical order.
+		sort.Slice(applied, func(i, j int) bool {
+			a, b := applied[i], applied[j]
+			if a.Src != b.Src {
+				return a.Src < b.Src
+			}
+			if a.Dst != b.Dst {
+				return a.Dst < b.Dst
+			}
+			return a.Index < b.Index
+		})
+		return applied, violations, err
+	}
+	a1, v1, err1 := run()
+	a2, v2, err2 := run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs failed: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Errorf("same schedule, different applied faults:\n  %+v\n  %+v", a1, a2)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Errorf("same schedule, different verdicts:\n  %v\n  %v", v1, v2)
+	}
+	if len(a1) == 0 {
+		t.Error("schedule applied no faults; indexes out of range for this traffic")
+	}
+}

@@ -1,0 +1,179 @@
+// Package faultfab wraps any fabric with a deterministic, replayable
+// fault schedule: per-link message delays, data-link resets and rank
+// crashes, all triggered by send counts rather than wall time. Because
+// every trigger is a pure function of (schedule, link, per-link send
+// index) — counters only the sending node's goroutine touches — the same
+// schedule applies the same faults at the same protocol points on every
+// run, regardless of goroutine interleaving, which makes chaos failures
+// replayable from just a seed and a schedule string.
+package faultfab
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Delay holds the Index-th send (1-based) on the Src->Dst link for Wait
+// before it is handed to the inner fabric.
+type Delay struct {
+	Src, Dst int
+	Index    int64
+	Wait     time.Duration
+}
+
+// Reset closes the Src->Dst data connection immediately before the
+// Index-th send (1-based) on that link, so the send and the link's unacked
+// window ride the repaired connection. Ignored (and logged as skipped) on
+// fabrics without real connections.
+type Reset struct {
+	Src, Dst int
+	Index    int64
+}
+
+// Crash kills Rank immediately after its Count-th send (1-based, counted
+// across all destinations). Ignored (and logged as skipped) on fabrics
+// that cannot kill a rank.
+type Crash struct {
+	Rank  int
+	Count int64
+}
+
+// Schedule is a set of fault rules. The zero value injects nothing.
+type Schedule struct {
+	Delays  []Delay
+	Resets  []Reset
+	Crashes []Crash
+}
+
+// Empty reports whether the schedule has no rules.
+func (s Schedule) Empty() bool {
+	return len(s.Delays) == 0 && len(s.Resets) == 0 && len(s.Crashes) == 0
+}
+
+// String renders the schedule in the format Parse accepts:
+//
+//	delay:SRC>DST@INDEX+WAIT  reset:SRC>DST@INDEX  crash:RANK@COUNT
+//
+// joined by commas. Parse(s.String()) reproduces s exactly.
+func (s Schedule) String() string {
+	var parts []string
+	for _, d := range s.Delays {
+		parts = append(parts, fmt.Sprintf("delay:%d>%d@%d+%s", d.Src, d.Dst, d.Index, d.Wait))
+	}
+	for _, r := range s.Resets {
+		parts = append(parts, fmt.Sprintf("reset:%d>%d@%d", r.Src, r.Dst, r.Index))
+	}
+	for _, c := range s.Crashes {
+		parts = append(parts, fmt.Sprintf("crash:%d@%d", c.Rank, c.Count))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse reads a comma-separated rule list as produced by String. An empty
+// string is the empty schedule.
+func Parse(s string) (Schedule, error) {
+	var sched Schedule
+	if strings.TrimSpace(s) == "" {
+		return sched, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		kind, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return Schedule{}, fmt.Errorf("faultfab: rule %q: want KIND:ARGS", part)
+		}
+		switch kind {
+		case "delay":
+			linkPart, waitPart, ok := strings.Cut(rest, "+")
+			if !ok {
+				return Schedule{}, fmt.Errorf("faultfab: delay %q: want SRC>DST@INDEX+WAIT", part)
+			}
+			src, dst, idx, err := parseLinkAt(linkPart)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faultfab: delay %q: %w", part, err)
+			}
+			wait, err := time.ParseDuration(waitPart)
+			if err != nil || wait < 0 {
+				return Schedule{}, fmt.Errorf("faultfab: delay %q: bad wait %q", part, waitPart)
+			}
+			sched.Delays = append(sched.Delays, Delay{Src: src, Dst: dst, Index: idx, Wait: wait})
+		case "reset":
+			src, dst, idx, err := parseLinkAt(rest)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faultfab: reset %q: %w", part, err)
+			}
+			sched.Resets = append(sched.Resets, Reset{Src: src, Dst: dst, Index: idx})
+		case "crash":
+			rankPart, countPart, ok := strings.Cut(rest, "@")
+			if !ok {
+				return Schedule{}, fmt.Errorf("faultfab: crash %q: want RANK@COUNT", part)
+			}
+			rank, err1 := strconv.Atoi(rankPart)
+			count, err2 := strconv.ParseInt(countPart, 10, 64)
+			if err1 != nil || err2 != nil || rank < 0 || count < 1 {
+				return Schedule{}, fmt.Errorf("faultfab: crash %q: bad rank or count", part)
+			}
+			sched.Crashes = append(sched.Crashes, Crash{Rank: rank, Count: count})
+		default:
+			return Schedule{}, fmt.Errorf("faultfab: unknown rule kind %q in %q", kind, part)
+		}
+	}
+	return sched, nil
+}
+
+// parseLinkAt reads SRC>DST@INDEX.
+func parseLinkAt(s string) (src, dst int, idx int64, err error) {
+	linkPart, idxPart, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want SRC>DST@INDEX, got %q", s)
+	}
+	srcPart, dstPart, ok := strings.Cut(linkPart, ">")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want SRC>DST, got %q", linkPart)
+	}
+	src, err1 := strconv.Atoi(srcPart)
+	dst, err2 := strconv.Atoi(dstPart)
+	idx, err3 := strconv.ParseInt(idxPart, 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || src < 0 || dst < 0 || idx < 1 {
+		return 0, 0, 0, fmt.Errorf("bad link %q (indexes are 1-based)", s)
+	}
+	return src, dst, idx, nil
+}
+
+// GenerateDelays builds a random delay-only schedule for an n-node
+// cluster: count delays on random links at random 1-based send indexes in
+// [1, maxIndex], each waiting up to maxWait. The same seed always yields
+// the same schedule, so a failing soak run is replayed from its seed
+// alone. n must be at least 2.
+func GenerateDelays(seed int64, n, count int, maxIndex int64, maxWait time.Duration) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var sched Schedule
+	for i := 0; i < count; i++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		sched.Delays = append(sched.Delays, Delay{
+			Src: src, Dst: dst,
+			Index: 1 + rng.Int63n(maxIndex),
+			Wait:  time.Duration(1 + rng.Int63n(int64(maxWait))),
+		})
+	}
+	// Sorted order keeps String output canonical for a given rule set.
+	sort.Slice(sched.Delays, func(i, j int) bool {
+		a, b := sched.Delays[i], sched.Delays[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Index < b.Index
+	})
+	return sched
+}

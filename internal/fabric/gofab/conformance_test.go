@@ -13,3 +13,12 @@ func TestConformance(t *testing.T) {
 		return New(machine.CM5, n), nil
 	})
 }
+
+// TestChaos runs the fault-injection conformance matrix over gofab:
+// delays apply for real, resets/crashes are skipped (no connections to
+// sever), and results must match the fault-free reference either way.
+func TestChaos(t *testing.T) {
+	fabtest.RunChaos(t, func(n int) (fabric.Fabric, error) {
+		return New(machine.CM5, n), nil
+	})
+}

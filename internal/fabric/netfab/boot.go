@@ -148,6 +148,11 @@ func (f *Fab) ctrlReadLoop(conn net.Conn, br *bufio.Reader, rank int) {
 			f.readyOnce()
 		case frDone:
 			f.peerDone()
+		case frAbort:
+			origin := d.Int()
+			reason := d.String()
+			f.fatalf("rank %d aborted: %s", origin, reason)
+			return
 		default:
 			f.fatalf("unexpected control frame %d from rank %d", kind, rank)
 			return
@@ -263,8 +268,15 @@ func (f *Fab) bootstrapJoin(rendezvous string, deadline time.Time) error {
 				}
 				return
 			}
-			if kind := wire.NewDecoder(body).Uint8(); kind == frAllDone {
+			d := wire.NewDecoder(body)
+			switch kind := d.Uint8(); kind {
+			case frAllDone:
 				close(f.done)
+				return
+			case frAbort:
+				origin := d.Int()
+				reason := d.String()
+				f.fatalf("rank %d aborted: %s", origin, reason)
 				return
 			}
 		}

@@ -1,10 +1,10 @@
 package netfab
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
-	"time"
 
 	"samsys/internal/fabric"
 	"samsys/internal/machine"
@@ -24,9 +24,16 @@ type Cluster struct {
 	elapsed sim.Time
 }
 
-// NewLocal bootstraps an n-node loopback cluster. The rendezvous listener
-// is bound first so every rank knows the address before any rank joins.
+// NewLocal bootstraps an n-node loopback cluster with default Options.
+// The rendezvous listener is bound first so every rank knows the address
+// before any rank joins.
 func NewLocal(prof machine.Profile, n int) (*Cluster, error) {
+	return NewLocalOpts(prof, n, Options{})
+}
+
+// NewLocalOpts is NewLocal with explicit timeout/window Options, shared by
+// every rank in the cluster.
+func NewLocalOpts(prof machine.Profile, n int, opts Options) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("netfab: need at least one node, got %d", n)
 	}
@@ -40,9 +47,9 @@ func NewLocal(prof machine.Profile, n int) (*Cluster, error) {
 	for rank := 0; rank < n; rank++ {
 		cfg := Config{
 			Rank: rank, N: n,
-			Rendezvous:  ln.Addr().String(),
-			Profile:     prof,
-			BootTimeout: 30 * time.Second,
+			Rendezvous: ln.Addr().String(),
+			Profile:    prof,
+			Opts:       opts,
 		}
 		if rank == 0 {
 			cfg.Listener = ln
@@ -89,7 +96,8 @@ func (cl *Cluster) SetTracer(r *trace.Recorder) {
 }
 
 // Run executes app on every node concurrently and returns when the whole
-// cluster has finished. The first node error is returned.
+// cluster has finished. Node errors are joined so a cluster-wide failure
+// (for example an injected rank kill) reports every rank's view.
 func (cl *Cluster) Run(app func(c fabric.Ctx)) error {
 	errs := make([]error, len(cl.fabs))
 	var wg sync.WaitGroup
@@ -106,12 +114,25 @@ func (cl *Cluster) Run(app func(c fabric.Ctx)) error {
 			cl.elapsed = f.elapsed
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	return errors.Join(errs...)
+}
+
+// InjectKill fails the given rank's Fab as if its process had died. It
+// implements the fault-injection Killer interface used by faultfab.
+func (cl *Cluster) InjectKill(rank int, reason string) bool {
+	if rank < 0 || rank >= len(cl.fabs) {
+		return false
 	}
-	return nil
+	return cl.fabs[rank].InjectKill(rank, reason)
+}
+
+// InjectLinkReset closes the src->dst data connection, if it is up. It
+// implements the fault-injection LinkResetter interface used by faultfab.
+func (cl *Cluster) InjectLinkReset(src, dst int) bool {
+	if src < 0 || src >= len(cl.fabs) {
+		return false
+	}
+	return cl.fabs[src].InjectLinkReset(src, dst)
 }
 
 // Elapsed returns the longest per-node run time.

@@ -69,8 +69,9 @@ type Config struct {
 	Listener net.Listener
 	// Profile is the machine model used for cost accounting.
 	Profile machine.Profile
-	// BootTimeout bounds bootstrap and lazy link dials (default 30s).
-	BootTimeout time.Duration
+	// Opts holds every timeout and window bound; zero fields take the
+	// defaults documented on Options.
+	Opts Options
 }
 
 // Fab is one node of a TCP cluster. It implements fabric.Fabric, but —
@@ -82,26 +83,30 @@ type Fab struct {
 	prof    machine.Profile
 	handler fabric.Handler
 
-	ln    net.Listener
-	addrs []string
-	boot  *bootState
-	inbox chan inMsg
-	peers []*peer // lazily dialed; touched only by the app goroutine
+	ln      net.Listener
+	addrs   []string
+	boot    *bootState
+	inbox   chan inMsg
+	peers   []*peer   // lazily dialed; touched only by the app goroutine
+	inLinks []*inLink // receive-side per-src watermark state
 
-	bootTimeout time.Duration
-	ready       chan struct{} // rank 0: all peers acked the address map
-	readyCount  int           // guarded by boot.mu
-	done        chan struct{} // closed when every rank's app has finished
+	opts       Options
+	ready      chan struct{} // rank 0: all peers acked the address map
+	readyCount int           // guarded by boot.mu
+	done       chan struct{} // closed when every rank's app has finished
 
 	closing atomic.Bool
+	stop    chan struct{} // closed by shutdown; unblocks writer goroutines
 	fail    chan struct{}
 	failMu  sync.Mutex
 	failErr error
+	aborted atomic.Bool // an abort notice was already propagated
 
 	counters []stats.Counters
 	acct     [stats.NumCat]int64
 	sendSeq  []int64 // per-destination link sequence, app goroutine only
 	start    time.Time
+	startNS  atomic.Int64 // start as unix nanos; read by the tracer clock
 	elapsed  sim.Time
 	ran      bool
 
@@ -121,9 +126,7 @@ func Join(cfg Config) (*Fab, error) {
 	if cfg.Rank > 0 && cfg.Rendezvous == "" {
 		return nil, fmt.Errorf("netfab: rank %d needs a rendezvous address", cfg.Rank)
 	}
-	if cfg.BootTimeout == 0 {
-		cfg.BootTimeout = 30 * time.Second
-	}
+	opts := cfg.Opts.withDefaults()
 	ln := cfg.Listener
 	if ln == nil {
 		addr := cfg.Listen
@@ -138,20 +141,25 @@ func Join(cfg Config) (*Fab, error) {
 	}
 	f := &Fab{
 		rank: cfg.Rank, n: cfg.N, prof: cfg.Profile,
-		ln:          ln,
-		addrs:       make([]string, cfg.N),
-		boot:        &bootState{regCh: make(chan registration, cfg.N)},
-		inbox:       make(chan inMsg, inboxCap),
-		peers:       make([]*peer, cfg.N),
-		bootTimeout: cfg.BootTimeout,
-		ready:       make(chan struct{}),
-		done:        make(chan struct{}),
-		fail:        make(chan struct{}),
-		counters:    make([]stats.Counters, cfg.N),
-		sendSeq:     make([]int64, cfg.N),
+		ln:       ln,
+		addrs:    make([]string, cfg.N),
+		boot:     &bootState{regCh: make(chan registration, cfg.N)},
+		inbox:    make(chan inMsg, inboxCap),
+		peers:    make([]*peer, cfg.N),
+		inLinks:  make([]*inLink, cfg.N),
+		opts:     opts,
+		ready:    make(chan struct{}),
+		done:     make(chan struct{}),
+		stop:     make(chan struct{}),
+		fail:     make(chan struct{}),
+		counters: make([]stats.Counters, cfg.N),
+		sendSeq:  make([]int64, cfg.N),
+	}
+	for i := range f.inLinks {
+		f.inLinks[i] = &inLink{}
 	}
 	go f.acceptLoop()
-	deadline := time.Now().Add(cfg.BootTimeout)
+	deadline := time.Now().Add(opts.Boot)
 	var err error
 	if cfg.Rank == 0 {
 		err = f.bootstrapRendezvous(deadline)
@@ -168,14 +176,87 @@ func Join(cfg Config) (*Fab, error) {
 // fatalf records the first fatal error and unblocks everything waiting on
 // the fabric. Network failures surface on goroutines that cannot return an
 // error to the application; the app goroutine observes them at its next
-// fabric call and panics with the stored error.
+// fabric call and panics with the stored error. The first fatal error is
+// also propagated over the control plane so the whole cluster fails in
+// bounded time instead of hanging on a dead rank (see propagateAbort).
 func (f *Fab) fatalf(format string, args ...any) {
 	f.failMu.Lock()
-	if f.failErr == nil {
+	first := f.failErr == nil
+	if first {
 		f.failErr = fmt.Errorf("netfab: rank %d: %s", f.rank, fmt.Sprintf(format, args...))
 		close(f.fail)
 	}
 	f.failMu.Unlock()
+	if first {
+		go f.propagateAbort(fmt.Sprintf(format, args...))
+	}
+}
+
+// propagateAbort tells the rest of the cluster this rank has failed: rank 0
+// broadcasts to every peer, a peer notifies rank 0 (which then broadcasts).
+// Errors are ignored — a dead control link means the other side already
+// knows. This is what turns a rank death into a clean, bounded-time error
+// from Run on every surviving rank instead of a hang.
+func (f *Fab) propagateAbort(reason string) {
+	if f.aborted.Swap(true) {
+		return
+	}
+	notice := ctrlFrame(frAbort, func(e *wire.Encoder) {
+		e.Int(f.rank)
+		e.String(reason)
+	})
+	f.boot.mu.Lock()
+	var conns []net.Conn
+	if f.rank == 0 {
+		for rank, c := range f.boot.ctrl {
+			if rank != 0 && c != nil {
+				conns = append(conns, c)
+			}
+		}
+	} else if f.boot.ctrlConn != nil {
+		conns = append(conns, f.boot.ctrlConn)
+	}
+	f.boot.mu.Unlock()
+	for _, c := range conns {
+		c.SetWriteDeadline(time.Now().Add(f.opts.Write))
+		sendCtrl(c, notice)
+	}
+}
+
+// InjectLinkReset abruptly closes the current outgoing data connection
+// src->dst, exercising the redial-and-resend path. It reports whether the
+// fault applied: true for a dialed link even if the connection is
+// momentarily down from an earlier reset (severing a severed link is an
+// idempotent no-op, not a skipped fault), false only when there is no
+// link to reset. Fault injection (faultfab) is the only intended caller;
+// it runs on the app goroutine of rank src.
+func (f *Fab) InjectLinkReset(src, dst int) bool {
+	if src != f.rank || dst < 0 || dst >= f.n || dst == f.rank {
+		return false
+	}
+	p := f.peers[dst]
+	if p == nil {
+		return false // link never dialed; nothing to reset
+	}
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	return true
+}
+
+// InjectKill marks this rank fatally failed, as if its process had died:
+// every fabric call on it starts panicking with the stored error (Run
+// returns it), its connections close, and the abort propagates so every
+// other rank's Run also returns an error in bounded time.
+func (f *Fab) InjectKill(rank int, reason string) bool {
+	if rank != f.rank {
+		return false
+	}
+	f.fatalf("fault injection: %s", reason)
+	return true
 }
 
 func (f *Fab) err() error {
@@ -220,10 +301,11 @@ func (f *Fab) SetTracer(r *trace.Recorder) {
 		return
 	}
 	r.SetClock(func() sim.Time {
-		if f.start.IsZero() {
+		s := f.startNS.Load()
+		if s == 0 {
 			return 0
 		}
-		return sim.Time(time.Since(f.start))
+		return sim.Time(time.Now().UnixNano() - s)
 	})
 }
 
@@ -252,6 +334,7 @@ func (f *Fab) Run(app func(c fabric.Ctx)) (err error) {
 	}
 	f.ran = true
 	f.start = time.Now()
+	f.startNS.Store(f.start.UnixNano())
 	c := &ctx{fab: f}
 	defer func() {
 		if r := recover(); r != nil {
@@ -282,7 +365,7 @@ func (f *Fab) Run(app func(c fabric.Ctx)) (err error) {
 				select {
 				case im := <-f.inbox:
 					c.handle(im)
-				case <-time.After(5 * time.Millisecond):
+				case <-time.After(f.opts.DrainQuiet):
 					return nil
 				}
 			}
@@ -299,6 +382,7 @@ func (f *Fab) shutdown() {
 	if f.closing.Swap(true) {
 		return
 	}
+	close(f.stop)
 	for _, p := range f.peers {
 		if p != nil {
 			close(p.out) // writer flushes and closes the conn
@@ -394,9 +478,10 @@ func (c *ctx) Send(dst, size int, payload any) {
 			Peer: int32(dst), Size: int64(size), Aux: seq})
 	}
 	p := f.peer(dst)
+	of := outFrame{seq: seq, body: e.Bytes()}
 	for {
 		select {
-		case p.out <- e.Bytes():
+		case p.out <- of:
 			c.poll()
 			return
 		default:

@@ -27,6 +27,22 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+// TestChaos runs the fault-injection conformance matrix over real TCP:
+// scheduled delays hold sends, scheduled resets sever live connections
+// mid-burst, and the seq/ack resend machinery must keep delivery
+// exactly-once, in order, with results identical to the fault-free run.
+func TestChaos(t *testing.T) {
+	fabtest.RunChaos(t, func(n int) (fabric.Fabric, error) {
+		// A small ack batch keeps the unacked resend window non-trivial
+		// at reset time without needing huge bursts.
+		cl, err := NewLocalOpts(machine.CM5, n, Options{AckEvery: 8})
+		if err != nil {
+			return nil, err
+		}
+		return cl, nil
+	})
+}
+
 // TestSAMOnNetfab runs a real SAM program — accumulator updates under
 // barriers — across TCP nodes. Payloads here are pack items and core
 // protocol messages, all wire-registered.

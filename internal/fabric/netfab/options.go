@@ -1,0 +1,63 @@
+package netfab
+
+import "time"
+
+// Options bounds every place a netfab node can otherwise wait forever on
+// the network. Every field has a default; the zero value is usable.
+//
+// The values split the fault model in two: faults inside a window
+// (a reset or stall shorter than LinkRetry/Write) are recovered
+// transparently by the resend machinery, faults that outlast their bound
+// are unrecoverable and surface as an error from Run on every rank.
+type Options struct {
+	// Boot bounds the bootstrap protocol and the first dial of every
+	// lazy data link (default 30s).
+	Boot time.Duration
+
+	// LinkRetry bounds one data-link outage: after a connection error the
+	// sender redials with capped exponential backoff and resends the
+	// unacknowledged window; if the link is not back within LinkRetry the
+	// fabric fails (default 10s).
+	LinkRetry time.Duration
+
+	// Write is the per-flush write deadline on data and ack frames. A
+	// peer that stops draining its socket turns into a connection error
+	// (and a redial) instead of an indefinitely blocked writer
+	// (default 10s).
+	Write time.Duration
+
+	// DrainQuiet is how long a node keeps serving messages after the
+	// end-of-run barrier before declaring its links quiet (default 5ms).
+	DrainQuiet time.Duration
+
+	// AckWindow is the maximum number of unacknowledged data frames per
+	// outgoing link; a full window blocks the sender until acks arrive
+	// (default 4096).
+	AckWindow int
+
+	// AckEvery is how many accepted frames a receiver batches into one
+	// cumulative ack (default 64). Must be well under AckWindow.
+	AckEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Boot == 0 {
+		o.Boot = 30 * time.Second
+	}
+	if o.LinkRetry == 0 {
+		o.LinkRetry = 10 * time.Second
+	}
+	if o.Write == 0 {
+		o.Write = 10 * time.Second
+	}
+	if o.DrainQuiet == 0 {
+		o.DrainQuiet = 5 * time.Millisecond
+	}
+	if o.AckWindow == 0 {
+		o.AckWindow = 1 << 12
+	}
+	if o.AckEvery == 0 {
+		o.AckEvery = 64
+	}
+	return o
+}

@@ -258,6 +258,21 @@ func (c *Checker) Observe(ev *Event) {
 		// seqs must arrive in exactly ascending order.
 		delete(ls.outstanding, ev.Aux)
 		ls.lastDelivered = ev.Aux
+	case EvMsgDup:
+		// A transport-level resend was suppressed. Legal only for a seq
+		// the link already delivered; suppressing an undelivered seq
+		// would be a silent loss.
+		k := linkKey{src: ev.Peer, dst: ev.Node}
+		ls := c.links[k]
+		if ls == nil || ev.Aux > ls.lastDelivered {
+			last := int64(-1)
+			if ls != nil {
+				last = ls.lastDelivered
+			}
+			c.fail(ev, "link %d->%d: seq %d suppressed as duplicate but only %d delivered (message lost)",
+				k.src, k.dst, ev.Aux, last)
+			return
+		}
 	}
 }
 

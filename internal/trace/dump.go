@@ -70,7 +70,10 @@ func CheckTransport(dumps [][]Event) error {
 	}
 	for _, d := range dumps {
 		for i := range d {
-			if d[i].Kind == EvMsgDeliver {
+			// Deliveries and duplicate suppressions are replayed together:
+			// both appear in the destination process's dump in true
+			// per-link order, which is what the dup check needs.
+			if d[i].Kind == EvMsgDeliver || d[i].Kind == EvMsgDup {
 				ck.Observe(&d[i])
 			}
 		}

@@ -97,6 +97,16 @@ const (
 	// invariant checker resets its protocol state here. Aux: node count.
 	EvWorldStart
 
+	// Fault injection (faultfab) and netfab link-failure handling. These
+	// kinds come last so the numeric values of the earlier kinds — which
+	// appear in on-disk dumps — stay stable.
+	EvFaultDelay // faultfab held a send; Peer: dst, Aux: per-link msg index, Aux2: delay ns
+	EvFaultReset // faultfab reset a data link; Peer: dst, Aux: per-link msg index
+	EvFaultCrash // faultfab killed this rank; Aux: per-rank send count at the kill
+	EvLinkDown   // netfab data link lost (error or injected); Peer: other end, Aux: 1 outgoing
+	EvLinkRedial // netfab data link re-established; Peer: dst, Aux: dial attempt, Aux2: frames resent
+	EvMsgDup     // netfab suppressed a duplicate resent frame; Peer: src, Aux: per-link seq
+
 	numKinds
 )
 
@@ -146,6 +156,12 @@ var kindNames = [numKinds]string{
 	EvTermWave:       "term-wave",
 	EvTerminate:      "terminate",
 	EvWorldStart:     "world-start",
+	EvFaultDelay:     "fault-delay",
+	EvFaultReset:     "fault-reset",
+	EvFaultCrash:     "fault-crash",
+	EvLinkDown:       "link-down",
+	EvLinkRedial:     "link-redial",
+	EvMsgDup:         "msg-dup",
 }
 
 func (k Kind) String() string {
@@ -170,6 +186,10 @@ func (k Kind) Category() string {
 		return "cache"
 	case k >= EvBarrierArrive && k <= EvTerminate:
 		return "task"
+	case k >= EvFaultDelay && k <= EvFaultCrash:
+		return "fault"
+	case k >= EvLinkDown && k <= EvMsgDup:
+		return "fabric"
 	}
 	return "other"
 }
