@@ -1,0 +1,80 @@
+// Command sambench runs the SAM hot-path benchmarks (Cholesky,
+// Barnes-Hut and Gröbner on gofab, plus an in-process netfab Cholesky)
+// and writes the measurements as JSON. It is the producer of the
+// committed BENCH_5.json trajectory and the regression gate CI runs
+// against it.
+//
+//	sambench -preset smoke -out bench.json            # measure
+//	sambench -preset smoke -check BENCH_5.json        # gate (CI)
+//	sambench -out BENCH_5.json -baseline old.json     # embed pre-PR run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samsys/internal/bench"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "smoke", "workload sizes: smoke or full")
+		out      = flag.String("out", "", "write results to this JSON file")
+		baseline = flag.String("baseline", "", "embed this earlier run as the baseline and derive speedups")
+		check    = flag.String("check", "", "compare against this committed JSON file and exit non-zero on regression")
+		tol      = flag.Float64("tol", 0.20, "relative regression tolerance for -check")
+	)
+	flag.Parse()
+
+	p := bench.Preset(*preset)
+	if p != bench.Smoke && p != bench.Full {
+		fmt.Fprintf(os.Stderr, "sambench: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	f, err := bench.Run(p, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sambench: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sambench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sambench: %s\n", f.Stamp())
+
+	if *baseline != "" {
+		base, err := bench.Load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sambench: %v\n", err)
+			os.Exit(1)
+		}
+		f.WithBaseline(base)
+		for _, s := range f.Speedups {
+			fmt.Fprintf(os.Stderr, "sambench: %s: %.2fx vs baseline\n", s.Name, s.Speedup)
+		}
+	}
+
+	if *out != "" {
+		if err := f.Write(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "sambench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sambench: wrote %s\n", *out)
+	}
+
+	if *check != "" {
+		committed, err := bench.Load(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sambench: %v\n", err)
+			os.Exit(1)
+		}
+		errs := bench.Check(f, committed, *tol)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "sambench: REGRESSION: %v\n", e)
+		}
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sambench: within %.0f%% of %s\n", *tol*100, *check)
+	}
+}

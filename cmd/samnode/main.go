@@ -190,15 +190,15 @@ func runCounter(fab *netfab.Fab, run fabric.Fabric) error {
 		}
 		c.Barrier()
 		for i := 0; i < perNode; i++ {
-			a := c.BeginUpdateAccum(acc).(pack.Ints)
+			a, ref := core.Update[pack.Ints](c, acc)
 			a[0]++
-			c.EndUpdateAccum(acc)
+			ref.Commit()
 		}
 		c.Barrier()
 		if c.Node() == 0 {
-			a := c.BeginUpdateAccum(acc).(pack.Ints)
+			a, ref := core.Update[pack.Ints](c, acc)
 			total = a[0]
-			c.EndUpdateAccum(acc)
+			ref.Commit()
 		}
 	})
 	if err != nil {

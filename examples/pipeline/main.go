@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"samsys/internal/core"
+	sam "samsys"
 	"samsys/internal/fabric/simfab"
 	"samsys/internal/machine"
 	"samsys/internal/pack"
@@ -21,20 +21,20 @@ const (
 
 func main() {
 	fab := simfab.New(machine.Paragon, 2)
-	world := core.NewWorld(fab, core.Options{})
-	name := func(i int) core.Name { return core.N2(1, 0, i) }
+	world := sam.New(fab)
+	name := func(i int) sam.Name { return sam.N2(1, 0, i) }
 
-	err := world.Run(func(c *core.Ctx) {
+	err := world.Run(func(c *sam.Ctx) {
 		switch c.Node() {
 		case 0: // producer
 			for i := 0; i < items; i++ {
 				var buf pack.Float64s
 				if i < slots {
-					buf = c.BeginCreateValue(name(i), make(pack.Float64s, 4), 1).(pack.Float64s)
+					buf = sam.CreateInPlace(c, name(i), make(pack.Float64s, 4), 1)
 				} else {
 					// Reuse the storage of item i-4; SAM suspends us here
 					// until the consumer has consumed it.
-					buf = c.BeginRenameValue(name(i-slots), name(i), 1).(pack.Float64s)
+					buf = sam.Rename[pack.Float64s](c, name(i-slots), name(i), 1)
 				}
 				for k := range buf {
 					buf[k] = float64(i*10 + k)
@@ -45,11 +45,11 @@ func main() {
 		case 1: // consumer
 			sum := 0.0
 			for i := 0; i < items; i++ {
-				v := c.BeginUseValue(name(i)).(pack.Float64s)
+				v, ref := sam.Use[pack.Float64s](c, name(i))
 				for _, x := range v {
 					sum += x
 				}
-				c.EndUseValue(name(i))
+				ref.Release()
 				c.DoneValue(name(i), 1) // lets the producer reuse the slot
 				c.Compute(2e5)          // consume slower than production
 			}

@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"log"
 
-	"samsys/internal/core"
+	sam "samsys"
 	"samsys/internal/fabric/simfab"
 	"samsys/internal/machine"
 	"samsys/internal/pack"
@@ -15,12 +15,12 @@ import (
 
 func main() {
 	fab := simfab.New(machine.CM5, 4)
-	world := core.NewWorld(fab, core.Options{})
+	world := sam.New(fab)
 
-	counter := core.N1(1, 0) // an accumulator
-	report := core.N1(2, 0)  // a value
+	counter := sam.N1(1, 0) // an accumulator
+	report := sam.N1(2, 0)  // a value
 
-	err := world.Run(func(c *core.Ctx) {
+	err := world.Run(func(c *sam.Ctx) {
 		// --- Idiom 1: mutual exclusion (Figure 1, example 1) ---
 		// Every node adds to a shared counter. SAM migrates the
 		// accumulator between processors; no locks appear in the program.
@@ -29,9 +29,9 @@ func main() {
 		}
 		c.Barrier()
 		for i := 0; i < 5; i++ {
-			a := c.BeginUpdateAccum(counter).(pack.Ints)
+			a, ref := sam.Update[pack.Ints](c, counter)
 			a[0]++
-			c.EndUpdateAccum(counter)
+			ref.Commit()
 		}
 		c.Barrier()
 
@@ -39,12 +39,10 @@ func main() {
 		// Node 0 publishes a result; everyone else's read waits for the
 		// creation automatically — synchronization is the data access.
 		if c.Node() == 0 {
-			a := c.BeginUpdateAccum(counter).(pack.Ints)
+			a, ref := sam.Update[pack.Ints](c, counter)
 			total := a[0]
-			c.EndUpdateAccum(counter)
-			buf := c.BeginCreateValue(report, pack.Ints{0}, core.UsesUnlimited).(pack.Ints)
-			buf[0] = total
-			c.EndCreateValue(report)
+			ref.Commit()
+			sam.Create(c, report, pack.Ints{total}, sam.UsesUnlimited)
 
 			// --- Idiom 3: pushing data (Section 5.3) ---
 			// Send the report to the other processors before they ask.
@@ -52,9 +50,9 @@ func main() {
 				c.PushValue(report, dst)
 			}
 		}
-		v := c.BeginUseValue(report).(pack.Ints)
+		v, ref := sam.Use[pack.Ints](c, report)
 		fmt.Printf("node %d: counter total = %d (at %v)\n", c.Node(), v[0], c.Now())
-		c.EndUseValue(report)
+		ref.Release()
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -36,14 +36,26 @@ var kindEnd = map[borrowKind]string{
 
 func beginKind(op samOp) borrowKind {
 	switch op {
-	case opBeginCreate, opBeginRename:
+	case opBeginCreate, opBeginRename, opTypedCreateInPlace, opTypedRename:
 		return kindCreate
-	case opBeginUse:
+	case opBeginUse, opUseRef, opTypedUse:
 		return kindUse
-	case opBeginAccum:
+	case opBeginAccum, opUpdateRef, opTypedUpdate:
 		return kindAccum
 	}
 	return kindChaotic
+}
+
+// closerName names the call that ends borrow i, for diagnostics: the
+// End* call for Begin borrows, the handle method for handle borrows.
+func closerName(i *inst) string {
+	if !i.op.handleOp() {
+		return kindEnd[i.kind]
+	}
+	if i.kind == kindAccum {
+		return "Commit"
+	}
+	return "Release"
 }
 
 // endCloses maps a closing operation to the borrow kind it closes.
@@ -308,7 +320,7 @@ func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
 		for _, i := range fa.heldInsts(st, n.Value) {
 			fa.report("borrowescape", n.Value.Pos(),
 				fmt.Sprintf("Item from %s(%s) sent on a channel; the receiver may use it after %s invalidates it",
-					opName[i.op], i.key, kindEnd[i.kind]),
+					opName[i.op], i.key, closerName(i)),
 				"copy the data into your own storage before sending")
 		}
 	case *ast.GoStmt:
@@ -318,7 +330,7 @@ func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
 			for _, i := range fa.heldInsts(st, a) {
 				fa.report("borrowescape", a.Pos(),
 					fmt.Sprintf("Item from %s(%s) passed to a spawned goroutine, which may outlive the %s",
-						opName[i.op], i.key, kindEnd[i.kind]),
+						opName[i.op], i.key, closerName(i)),
 					"copy the data out, or have the goroutine borrow the item itself")
 			}
 		}
@@ -369,6 +381,21 @@ func (fa *flowAnalysis) assign(st *flowState, a *ast.AssignStmt) {
 		}
 		return
 	}
+	// Tuple form of the typed accessors: `v, ref := Use[T](c, n)` binds
+	// both results — the item and the handle — to the same borrow.
+	if len(a.Rhs) == 1 {
+		if i := fa.beginInst(a.Rhs[0]); i != nil {
+			for _, l := range a.Lhs {
+				t := fa.p.resolveTarget(l)
+				fa.checkWrite(st, t, l.Pos())
+				if t.direct && t.obj != nil {
+					fa.killFacts(st, t.obj)
+					st.vars[t.obj] = map[*inst]bool{i: true}
+				}
+			}
+			return
+		}
+	}
 	for _, l := range a.Lhs {
 		fa.bindOne(st, l, nil)
 	}
@@ -386,7 +413,7 @@ func (fa *flowAnalysis) bindOne(st *flowState, lhs, rhs ast.Expr) {
 		for _, i := range fa.heldInsts(st, rhs) {
 			fa.report("borrowescape", rhs.Pos(),
 				fmt.Sprintf("Item from %s(%s) stored into %s, which outlives the %s",
-					opName[i.op], i.key, dest, kindEnd[i.kind]),
+					opName[i.op], i.key, dest, closerName(i)),
 				"the item is cache-owned and invalid after the borrow ends; copy the data instead")
 		}
 	}
@@ -481,15 +508,32 @@ func (fa *flowAnalysis) beginInst(e ast.Expr) *inst {
 }
 
 // calls applies every SAM runtime call inside n (not descending into
-// function literals, which are separate analysis units).
+// function literals, which are separate analysis units) in evaluation
+// order — inner calls before the calls that consume them, so a chained
+// closer like c.UpdateAccum(n).CommitToValue(u) sees its receiver's
+// borrow already open.
 func (fa *flowAnalysis) calls(st *flowState, n ast.Node) {
 	if n == nil {
 		return
 	}
-	inspectShallow(n, func(x ast.Node) bool {
-		if c, ok := x.(*ast.CallExpr); ok {
-			fa.applyCall(st, c)
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c, ok := top.(*ast.CallExpr); ok {
+				fa.applyCall(st, c)
+			}
+			return true
 		}
+		// Function literals are separate analysis units with their own
+		// CFG; defining one executes nothing, so their calls must not
+		// leak into this unit's state (even when the literal is the
+		// root expression, as in `f := func() {...}`).
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, x)
 		return true
 	})
 }
@@ -505,22 +549,30 @@ func (fa *flowAnalysis) applyCall(st *flowState, call *ast.CallExpr) {
 				continue
 			}
 			fa.report("holdblock", call.Pos(),
-				fmt.Sprintf("%s may block while holding BeginUpdateAccum(%s) from line %d; a blocked holder can deadlock other updaters of the accumulator",
-					opName[op], i.key, fa.line(i.pos)),
-				"finish the accumulator with EndUpdateAccum before any blocking operation")
+				fmt.Sprintf("%s may block while holding %s(%s) from line %d; a blocked holder can deadlock other updaters of the accumulator",
+					opName[op], opName[i.op], i.key, fa.line(i.pos)),
+				fmt.Sprintf("finish the accumulator with %s before any blocking operation", closerName(i)))
 		}
 	}
 	switch op {
-	case opBeginCreate, opBeginRename, opBeginUse, opBeginAccum, opBeginChaotic:
+	case opBeginCreate, opBeginRename, opBeginUse, opBeginAccum, opBeginChaotic,
+		opUseRef, opUpdateRef, opChaoticRef,
+		opTypedUse, opTypedUpdate, opTypedChaotic,
+		opTypedCreateInPlace, opTypedRename:
 		if op == opBeginRename && len(call.Args) > 0 {
 			delete(st.pub, keyOf(call.Args[0])) // the old name is retired
+		}
+		if op == opTypedRename && len(call.Args) > 1 {
+			delete(st.pub, keyOf(call.Args[1]))
 		}
 		i := fa.instFor(call, op)
 		st.open[i] = true
 		delete(st.done, i)
 	case opEndCreate, opEndUse, opEndAccum, opEndAccumToValue, opEndChaotic:
 		fa.closeOp(st, op, call)
-	case opCreateValue:
+	case opRefRelease, opRefCommit, opRefCommitToValue:
+		fa.closeRef(st, op, call)
+	case opCreateValue, opTypedCreate:
 		fa.publish(st, nameArg(op, call), call)
 	case opDestroyValue, opConvertToAccum:
 		delete(st.pub, keyOf(nameArg(op, call)))
@@ -569,10 +621,35 @@ func (fa *flowAnalysis) closeOp(st *flowState, op samOp, call *ast.CallExpr) {
 	}
 }
 
+// closeRef closes the borrow(s) a handle closer's receiver holds:
+// ref.Release(), ref.Commit(), ref.CommitToValue(uses). The receiver —
+// a ref variable or the opener call itself — identifies the borrow, so
+// no name matching is involved.
+func (fa *flowAnalysis) closeRef(st *flowState, op samOp, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	for _, i := range fa.heldInsts(st, sel.X) {
+		delete(st.open, i)
+		if i.kind == kindCreate {
+			st.done[i] = true
+		}
+		if op == opRefCommitToValue {
+			fa.publishKey(st, i.key, i.free, call)
+		}
+	}
+}
+
 // publish records that the name ne is now a published value, flagging a
 // second publication of the same name on the same path.
 func (fa *flowAnalysis) publish(st *flowState, ne ast.Expr, call *ast.CallExpr) {
-	key := keyOf(ne)
+	fa.publishKey(st, keyOf(ne), fa.p.freeVars(ne), call)
+}
+
+// publishKey is publish on a pre-canonicalized key (used by handle
+// closers, whose name expression lives at the opener call site).
+func (fa *flowAnalysis) publishKey(st *flowState, key string, free map[types.Object]bool, call *ast.CallExpr) {
 	if key == "" {
 		return
 	}
@@ -583,7 +660,7 @@ func (fa *flowAnalysis) publish(st *flowState, ne ast.Expr, call *ast.CallExpr) 
 	}
 	f := fa.pubs[call]
 	if f == nil {
-		f = &pubFact{pos: call.Pos(), free: fa.p.freeVars(ne)}
+		f = &pubFact{pos: call.Pos(), free: free}
 		fa.pubs[call] = f
 	}
 	if st.pub[key] == nil {
@@ -620,7 +697,7 @@ func (fa *flowAnalysis) checkCapture(st *flowState, call *ast.CallExpr, what str
 				}
 				fa.report("borrowescape", id.Pos(),
 					fmt.Sprintf("Item from %s(%s) captured by a closure passed to %s; the closure may run after %s invalidates it",
-						opName[i.op], i.key, what, kindEnd[i.kind]),
+						opName[i.op], i.key, what, closerName(i)),
 					"copy the data out, or have the closure borrow the item itself")
 			}
 			return true
@@ -659,6 +736,14 @@ func (fa *flowAnalysis) atExit(st *flowState, b *cfgBlock) {
 		if returned[i] {
 			continue
 		}
+		if i.op.handleOp() {
+			end := closerName(i)
+			fa.report("pairdiscipline", i.pos,
+				fmt.Sprintf("the %s(%s) handle does not reach %s on the path to %s",
+					opName[i.op], i.key, end, where),
+				fmt.Sprintf("call the handle's %s before this path leaves the function", end))
+			continue
+		}
 		end := kindEnd[i.kind]
 		fa.report("pairdiscipline", i.pos,
 			fmt.Sprintf("%s(%s) is not matched by %s(%s) on the path to %s",
@@ -685,6 +770,11 @@ func (fa *flowAnalysis) deferredCall(st *flowState, call *ast.CallExpr) {
 	op := fa.p.samCall(call)
 	if _, ok := endCloses(op); ok {
 		fa.closeOp(st, op, call)
+		return
+	}
+	switch op {
+	case opRefRelease, opRefCommit, opRefCommitToValue:
+		fa.closeRef(st, op, call)
 	}
 }
 

@@ -49,6 +49,26 @@ const (
 	opFetchValueAsync // FetchValueAsync(name, cb)
 	opSpawnTask       // SpawnTask(dst, task, size)
 	opSpawnWhenValues // SpawnTaskWhenValues(task, names...)
+
+	// Handle-based openers (methods on Ctx returning a ref).
+	opUseRef     // UseValue(name) -> ValueRef
+	opUpdateRef  // UpdateAccum(name) -> AccumRef
+	opChaoticRef // ReadChaotic(name) -> ChaoticRef
+
+	// Typed package-level accessors (core.Use / sam.Use, ...). The Ctx
+	// is argument 0, so the name argument shifts right by one.
+	opTypedUse           // Use[T](c, name) -> (T, ValueRef)
+	opTypedUpdate        // Update[T](c, name) -> (T, AccumRef)
+	opTypedChaotic       // ReadChaotic[T](c, name) -> (T, ChaoticRef)
+	opTypedCreate        // Create[T](c, name, item, uses): publish in one step
+	opTypedCreateInPlace // CreateInPlace[T](c, name, item, uses) -> T
+	opTypedRename        // Rename[T](c, old, new, uses) -> T; borrows under new
+
+	// Handle closers (methods on the ref types). The borrow they close
+	// is identified by the receiver, not by a name argument.
+	opRefRelease       // ValueRef/ChaoticRef.Release()
+	opRefCommit        // AccumRef.Commit()
+	opRefCommitToValue // AccumRef.CommitToValue(uses); publishes
 )
 
 var samOpByName = map[string]samOp{
@@ -74,6 +94,30 @@ var samOpByName = map[string]samOp{
 	"FetchValueAsync":       opFetchValueAsync,
 	"SpawnTask":             opSpawnTask,
 	"SpawnTaskWhenValues":   opSpawnWhenValues,
+	"UseValue":              opUseRef,
+	"UpdateAccum":           opUpdateRef,
+	"ReadChaotic":           opChaoticRef,
+}
+
+// samPkgPath is the public facade re-exporting the typed accessors.
+const samPkgPath = "samsys"
+
+// typedOpByName classifies package-level calls qualified with the core
+// or sam package (`core.Use[T](c, n)`, `sam.Update[T](c, n)`, ...).
+var typedOpByName = map[string]samOp{
+	"Use":           opTypedUse,
+	"Update":        opTypedUpdate,
+	"ReadChaotic":   opTypedChaotic,
+	"Create":        opTypedCreate,
+	"CreateInPlace": opTypedCreateInPlace,
+	"Rename":        opTypedRename,
+}
+
+// refCloserByName classifies method calls on the borrow handle types.
+var refCloserByName = map[string]samOp{
+	"Release":       opRefRelease,
+	"Commit":        opRefCommit,
+	"CommitToValue": opRefCommitToValue,
 }
 
 // opName gives the API name back for diagnostics.
@@ -90,6 +134,18 @@ var opName = map[samOp]string{
 	opEndChaotic:      "EndReadChaotic",
 	opBarrier:         "Barrier",
 	opNextTask:        "NextTask",
+
+	opUseRef:             "UseValue",
+	opUpdateRef:          "UpdateAccum",
+	opChaoticRef:         "ReadChaotic",
+	opTypedUse:           "Use",
+	opTypedUpdate:        "Update",
+	opTypedChaotic:       "ReadChaotic",
+	opTypedCreateInPlace: "CreateInPlace",
+	opTypedRename:        "Rename",
+	opRefRelease:         "Release",
+	opRefCommit:          "Commit",
+	opRefCommitToValue:   "CommitToValue",
 }
 
 // blocking reports whether the operation can suspend the calling
@@ -97,7 +153,19 @@ var opName = map[samOp]string{
 // accumulator (paper section 3.2).
 func (op samOp) blocking() bool {
 	switch op {
-	case opBeginUse, opBeginAccum, opBeginRename, opBarrier, opNextTask:
+	case opBeginUse, opBeginAccum, opBeginRename, opBarrier, opNextTask,
+		opUseRef, opUpdateRef, opTypedUse, opTypedUpdate, opTypedRename:
+		return true
+	}
+	return false
+}
+
+// handleOp reports whether op opens a borrow that is closed through its
+// returned handle (Release/Commit) rather than a name-matched End call.
+func (op samOp) handleOp() bool {
+	switch op {
+	case opUseRef, opUpdateRef, opChaoticRef,
+		opTypedUse, opTypedUpdate, opTypedChaotic:
 		return true
 	}
 	return false
@@ -127,22 +195,66 @@ func isCtxType(t types.Type) bool {
 		obj.Pkg().Path() == ctxPkgPath && obj.Name() == "Ctx"
 }
 
+// isRefType reports whether t is one of the borrow handle types.
+func isRefType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != ctxPkgPath {
+		return false
+	}
+	switch obj.Name() {
+	case "ValueRef", "AccumRef", "ChaoticRef":
+		return true
+	}
+	return false
+}
+
 // samCall classifies call. It returns opNone when call is not a SAM
-// runtime method call.
+// runtime call: a method on Ctx, a method on a borrow handle, or a
+// typed package-level accessor (whose Fun is an index expression when
+// the type argument is explicit).
 func (p *Pass) samCall(call *ast.CallExpr) samOp {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	fun := call.Fun
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
 	if !ok {
 		return opNone
 	}
-	op, ok := samOpByName[sel.Sel.Name]
-	if !ok {
-		return opNone
+	// Package-qualified typed accessor: core.Use[T](c, n) / sam.Use[T](c, n).
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+			if path := pn.Imported().Path(); path == ctxPkgPath || path == samPkgPath {
+				if op, ok := typedOpByName[sel.Sel.Name]; ok {
+					return op
+				}
+			}
+			return opNone
+		}
 	}
 	tv, ok := p.Pkg.Info.Types[sel.X]
-	if !ok || !isCtxType(tv.Type) {
+	if !ok {
 		return opNone
 	}
-	return op
+	if isCtxType(tv.Type) {
+		if op, ok := samOpByName[sel.Sel.Name]; ok {
+			return op
+		}
+		return opNone
+	}
+	if isRefType(tv.Type) {
+		if op, ok := refCloserByName[sel.Sel.Name]; ok {
+			return op
+		}
+	}
+	return opNone
 }
 
 // nameArg returns the Name argument that identifies the shared item the
@@ -153,7 +265,12 @@ func nameArg(op samOp, call *ast.CallExpr) ast.Expr {
 	switch op {
 	case opBeginRename:
 		idx = 1
-	case opBarrier, opNextTask, opSpawnTask, opSpawnWhenValues:
+	case opTypedUse, opTypedUpdate, opTypedChaotic, opTypedCreate, opTypedCreateInPlace:
+		idx = 1 // argument 0 is the Ctx
+	case opTypedRename:
+		idx = 2 // (c, old, new, uses); borrows under new
+	case opBarrier, opNextTask, opSpawnTask, opSpawnWhenValues,
+		opRefRelease, opRefCommit, opRefCommitToValue:
 		return nil
 	default:
 		idx = 0

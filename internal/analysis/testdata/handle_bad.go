@@ -1,0 +1,57 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const hbtag = 4
+
+type hbStash struct{ v pack.Ints }
+
+var hbGlobal pack.Ints
+
+func handleLeaked(c *core.Ctx, i int) int {
+	v, _ := core.Use[pack.Ints](c, core.N1(hbtag, i)) // want pairdiscipline "does not reach Release"
+	return v[0]
+}
+
+func handleLeakedBranch(c *core.Ctx, i int, skip bool) int {
+	v, ref := core.Use[pack.Ints](c, core.N1(hbtag, i)) // want pairdiscipline "does not reach Release"
+	if skip {
+		return 0 // forgets ref.Release() on this path
+	}
+	s := v[0]
+	ref.Release()
+	return s
+}
+
+func handleUncommitted(c *core.Ctx, i int) {
+	a, _ := core.Update[pack.Ints](c, core.N1(hbtag, i)) // want pairdiscipline "does not reach Commit"
+	a[0]++
+}
+
+func handleWriteThroughUse(c *core.Ctx, i int) {
+	v, ref := core.Use[pack.Ints](c, core.N1(hbtag, i))
+	v[0] = 7 // want singleassign "read-only"
+	ref.Release()
+}
+
+func handleEscapes(c *core.Ctx, i int, st *hbStash) {
+	v, ref := core.Use[pack.Ints](c, core.N1(hbtag, i))
+	st.v = v     // want borrowescape "struct field"
+	hbGlobal = v // want borrowescape "package-level variable"
+	ref.Release()
+}
+
+func handleHoldsAcrossBlock(c *core.Ctx, i int) {
+	a, ref := core.Update[pack.Ints](c, core.N1(hbtag, i))
+	c.Barrier() // want holdblock "Barrier may block"
+	a[0]++
+	ref.Commit()
+}
+
+func handleDoublePublish(c *core.Ctx, i int) {
+	c.UpdateAccum(core.N1(hbtag, i)).CommitToValue(core.UsesUnlimited)
+	c.CreateValue(core.N1(hbtag, i), pack.Ints{0}, core.UsesUnlimited) // want singleassign "published twice"
+}

@@ -1,0 +1,65 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const htag = 3
+
+// The handle-based and typed accessor forms: every borrow is closed
+// through its ref, so nothing here should be flagged.
+
+func handleTyped(c *core.Ctx, i int) int {
+	v, ref := core.Use[pack.Ints](c, core.N1(htag, i))
+	s := v[0]
+	ref.Release()
+	return s
+}
+
+func handleMethodForm(c *core.Ctx, i int) {
+	ref := c.UseValue(core.N1(htag, i))
+	_ = ref.Item()
+	ref.Release()
+}
+
+func handleAccum(c *core.Ctx, i int) {
+	a, ref := core.Update[pack.Ints](c, core.N1(htag, i))
+	a[0]++
+	ref.Commit()
+}
+
+func handleDeferred(c *core.Ctx, i int) int {
+	v, ref := core.Update[pack.Ints](c, core.N1(htag, i))
+	defer ref.Commit()
+	v[0]++
+	return v[0]
+}
+
+func handleChained(c *core.Ctx, i int) {
+	c.UpdateAccum(core.N1(htag, i)).CommitToValue(core.UsesUnlimited)
+}
+
+func handleChaotic(c *core.Ctx, i int) int {
+	v, ref := core.ReadChaotic[pack.Ints](c, core.N1(htag, i))
+	n := v[0]
+	ref.Release()
+	return n
+}
+
+// handleWrapper returns the borrow to its caller (the dset.Get
+// pattern); the open handle crossing the return is exempt.
+func handleWrapper(c *core.Ctx, i int) (pack.Ints, core.ValueRef) {
+	return core.Use[pack.Ints](c, core.N1(htag, i))
+}
+
+func handleBranches(c *core.Ctx, i int, skip bool) int {
+	v, ref := core.Use[pack.Ints](c, core.N1(htag, i))
+	if skip {
+		ref.Release()
+		return 0
+	}
+	s := v[0]
+	ref.Release()
+	return s
+}

@@ -138,18 +138,17 @@ func agreeBounds(c *core.Ctx, step int, mine []octlib.Body) octlib.Bounds {
 	if c.Node() == 0 {
 		c.CreateAccum(name, &octlib.BBoxItem{})
 	}
-	bb := c.BeginUpdateAccum(name).(*octlib.BBoxItem)
+	bb, ref := core.Update[*octlib.BBoxItem](c, name)
 	bb.Merge(mine)
 	c.Work(float64(len(mine)) * 6)
-	c.EndUpdateAccum(name)
+	ref.Commit()
 	c.Barrier()
 	if c.Node() == 0 {
-		c.BeginUpdateAccum(name)
-		c.EndUpdateAccumToValue(name, core.UsesUnlimited)
+		c.UpdateAccum(name).CommitToValue(core.UsesUnlimited)
 	}
-	box := c.BeginUseValue(name).(*octlib.BBoxItem)
+	box, bref := core.Use[*octlib.BBoxItem](c, name)
 	cube := box.Cube()
-	c.EndUseValue(name)
+	bref.Release()
 	return cube
 }
 
@@ -172,7 +171,7 @@ func buildTree(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body, p 
 		for inserted := false; !inserted; {
 			// Chaotic descent while the path is decided by existing
 			// structure.
-			cell := c.BeginReadChaotic(name(path)).(*octlib.Cell)
+			cell, cref := core.ReadChaotic[*octlib.Cell](c, name(path))
 			descend := -1
 			if cell.Kind == octlib.InternalCell {
 				oct, _ := bounds.Octant(b.Pos)
@@ -180,7 +179,7 @@ func buildTree(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body, p 
 					descend = oct
 				}
 			}
-			c.EndReadChaotic(name(path))
+			cref.Release()
 			c.Work(30)
 			if descend >= 0 {
 				path, bounds = path.Child(descend), bounds.Child(descend)
@@ -188,13 +187,13 @@ func buildTree(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body, p 
 			}
 			// Potential insertion point: take exclusive access and
 			// re-examine, since the snapshot may be stale.
-			cl := c.BeginUpdateAccum(name(path)).(*octlib.Cell)
+			cl, clref := core.Update[*octlib.Cell](c, name(path))
 			switch {
 			case cl.Kind == octlib.InternalCell:
 				oct, cb := bounds.Octant(b.Pos)
 				if cl.HasChild(oct) {
 					// Lost a race; descend for real.
-					c.EndUpdateAccum(name(path))
+					clref.Commit()
 					path, bounds = path.Child(oct), cb
 					continue
 				}
@@ -206,12 +205,12 @@ func buildTree(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body, p 
 				c.CreateAccum(name(childPath), child)
 				created = append(created, childPath)
 				cl.ChildMask |= 1 << oct
-				c.EndUpdateAccum(name(path))
+				clref.Commit()
 				inserted = true
 
 			case len(cl.Bodies) < p.LeafCap || path.Level >= octlib.MaxDepth:
 				cl.Bodies = append(cl.Bodies, b)
-				c.EndUpdateAccum(name(path))
+				clref.Commit()
 				inserted = true
 
 			default:
@@ -238,7 +237,7 @@ func buildTree(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body, p 
 					created = append(created, childPath)
 					cl.ChildMask |= 1 << oct
 				}
-				c.EndUpdateAccum(name(path))
+				clref.Commit()
 				// Loop again: the body descends into the new structure.
 			}
 			c.Work(60)
@@ -261,7 +260,7 @@ func computeCOM(c *core.Ctx, step int, created []octlib.Path, cfg Config) {
 	})
 	name := func(path octlib.Path) core.Name { return octlib.CellName(tagCell, step, path) }
 	for _, path := range created {
-		cl := c.BeginUpdateAccum(name(path)).(*octlib.Cell)
+		cl, clref := core.Update[*octlib.Cell](c, name(path))
 		cl.Mass = 0
 		cl.Count = 0
 		var weighted octlib.Vec3
@@ -284,7 +283,7 @@ func computeCOM(c *core.Ctx, step int, created []octlib.Path, cfg Config) {
 				// child cells are strictly below the parent in the tree and
 				// are published bottom-up, so the wait is acyclic.
 				//samlint:ignore holdblock child values are published strictly bottom-up, so the wait while holding the parent accumulator is acyclic (paper sec 5.2)
-				ch := c.BeginUseValue(cn).(*octlib.Cell)
+				ch, chref := core.Use[*octlib.Cell](c, cn)
 				cl.Mass += ch.Mass
 				weighted = weighted.Add(ch.COM.Scale(ch.Mass))
 				cl.Count += ch.Count
@@ -295,14 +294,14 @@ func computeCOM(c *core.Ctx, step int, created []octlib.Path, cfg Config) {
 					}
 					cl.Child[oct] = s
 				}
-				c.EndUseValue(cn)
+				chref.Release()
 				c.Compute(octlib.FlopsPerCOM)
 			}
 		}
 		if cl.Mass > 0 {
 			cl.COM = weighted.Scale(1 / cl.Mass)
 		}
-		c.EndUpdateAccumToValue(name(path), core.UsesUnlimited)
+		clref.CommitToValue(core.UsesUnlimited)
 		if cfg.PushLevels > 0 && path.Level < cfg.PushLevels {
 			for dst := 0; dst < c.N(); dst++ {
 				if dst != c.Node() {
@@ -329,7 +328,7 @@ func forcePhase(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body,
 			path := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			cn := name(path)
-			cell := c.BeginUseValue(cn).(*octlib.Cell)
+			cell, cref := core.Use[*octlib.Cell](c, cn)
 			st.Visits++
 			switch {
 			case cell.Count == 0:
@@ -377,7 +376,7 @@ func forcePhase(c *core.Ctx, step int, cube octlib.Bounds, mine []octlib.Body,
 					}
 				}
 			}
-			c.EndUseValue(cn)
+			cref.Release()
 		}
 		accs[i] = acc
 		// Charge this body's traversal work so computation and

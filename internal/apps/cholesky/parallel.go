@@ -130,11 +130,11 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 		// updates have all been applied.
 		finalize := func(i, j int32) {
 			if i == j {
-				a := c.BeginUpdateAccum(name(j, j)).(pack.Float64s)
+				a, ref := core.Update[pack.Float64s](c, name(j, j))
 				d := bl.Dim(int(j))
 				sparse.BlockFactor(a, d)
 				c.Compute(bl.FactorFlops(int(j)))
-				c.EndUpdateAccumToValue(name(j, j), core.UsesUnlimited)
+				ref.CommitToValue(core.UsesUnlimited)
 				afterComplete(c, bl, owners, i, j, cfg)
 				return
 			}
@@ -161,12 +161,12 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 				finalize(tk.i, tk.j)
 
 			case solveTask:
-				l := c.BeginUseValue(name(tk.j, tk.j)).(pack.Float64s)
-				a := c.BeginUpdateAccum(name(tk.i, tk.j)).(pack.Float64s)
+				l, lref := core.Use[pack.Float64s](c, name(tk.j, tk.j))
+				a, aref := core.Update[pack.Float64s](c, name(tk.i, tk.j))
 				sparse.BlockSolve(a, l, bl.Dim(int(tk.i)), bl.Dim(int(tk.j)))
 				c.Compute(bl.SolveFlops(int(tk.i), int(tk.j)))
-				c.EndUpdateAccumToValue(name(tk.i, tk.j), core.UsesUnlimited)
-				c.EndUseValue(name(tk.j, tk.j))
+				aref.CommitToValue(core.UsesUnlimited)
+				lref.Release()
 				afterComplete(c, bl, owners, tk.i, tk.j, cfg)
 
 			case updTask:
@@ -174,15 +174,15 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 				c.SpawnTaskWhenValues(gemmTask(tk), name(tk.i, tk.k), name(tk.j, tk.k))
 
 			case gemmTask:
-				lik := c.BeginUseValue(name(tk.i, tk.k)).(pack.Float64s)
-				ljk := c.BeginUseValue(name(tk.j, tk.k)).(pack.Float64s)
-				dst := c.BeginUpdateAccum(name(tk.i, tk.j)).(pack.Float64s)
+				lik, likRef := core.Use[pack.Float64s](c, name(tk.i, tk.k))
+				ljk, ljkRef := core.Use[pack.Float64s](c, name(tk.j, tk.k))
+				dst, dstRef := core.Update[pack.Float64s](c, name(tk.i, tk.j))
 				mdim, ndim := bl.Dim(int(tk.i)), bl.Dim(int(tk.j))
 				sparse.BlockMulSub(dst, lik, ljk, mdim, ndim, bl.Dim(int(tk.k)))
 				c.Compute(bl.UpdateFlops(sparse.Update{I: tk.i, J: tk.j, K: tk.k}))
-				c.EndUpdateAccum(name(tk.i, tk.j))
-				c.EndUseValue(name(tk.j, tk.k))
-				c.EndUseValue(name(tk.i, tk.k))
+				dstRef.Commit()
+				ljkRef.Release()
+				likRef.Release()
 				k := key(tk.i, tk.j)
 				remaining[k]--
 				if remaining[k] == 0 {
@@ -202,9 +202,9 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 		if cfg.Collect && me == 0 {
 			for j := int32(0); j < nb; j++ {
 				for _, i := range bl.Rows[j] {
-					v := c.BeginUseValue(name(i, j)).(pack.Float64s)
+					v, ref := core.Use[pack.Float64s](c, name(i, j))
 					cp := append(pack.Float64s{}, v...)
-					c.EndUseValue(name(i, j))
+					ref.Release()
 					res.L[[2]int32{i, j}] = cp
 				}
 			}

@@ -90,12 +90,14 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 		// local hits (the dynamic caching the application depends on).
 		pinBasis := func(n int64, f func(basis []*Poly)) {
 			basis := make([]*Poly, n)
+			refs := make([]core.ValueRef, n)
 			for i := int64(0); i < n; i++ {
-				basis[i] = set.BeginGet(c, i).(Item).P
+				it, ref := set.Get(c, i)
+				basis[i], refs[i] = it.(Item).P, ref
 			}
 			f(basis)
 			for i := int64(0); i < n; i++ {
-				set.EndGet(c, i)
+				refs[i].Release()
 			}
 		}
 

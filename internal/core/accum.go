@@ -32,7 +32,16 @@ func (c *Ctx) CreateAccum(name Name, item Item) {
 // migrating it to this processor if necessary, and returns its data for
 // in-place update. Updates must be commutative: their final effect must
 // not depend on the order processors obtain access.
+//
+// Deprecated: use UpdateAccum (or the typed Update), whose handle
+// cannot commit the wrong accumulator.
 func (c *Ctx) BeginUpdateAccum(name Name) Item {
+	return c.updateAccum(name).item
+}
+
+// updateAccum acquires exclusive access and returns the holder entry for
+// handle-based commit.
+func (c *Ctx) updateAccum(name Name) *entry {
 	rt := c.rt
 	cnt := c.fc.Counters()
 	cnt.SharedAccesses++
@@ -50,7 +59,7 @@ func (c *Ctx) BeginUpdateAccum(name Name) Item {
 		cnt.CacheHits++
 		rt.cache.reindex(e)
 		rt.ev(trace.EvAccAcquire, name, -1, int64(e.size), 1)
-		return e.item
+		return e
 	}
 	cnt.RemoteAccesses++
 	cnt.AccumMigrations++
@@ -61,7 +70,7 @@ func (c *Ctx) BeginUpdateAccum(name Name) Item {
 	ev := c.fc.NewEvent()
 	rt.acqWait[name] = ev
 	rt.send(c.fc, name.home(rt.n), smallMsgSize, msgAccAcq{name: name, from: rt.node})
-	ev.Wait(c.fc, stats.Stall)
+	c.rt.wait(c.fc, ev, stats.Stall)
 	e := rt.cache.lookup(name)
 	if e == nil || !e.owner || e.kind != kindAccum {
 		rt.protoErr("BeginUpdateAccum(%v): woke without holdership", name)
@@ -69,17 +78,27 @@ func (c *Ctx) BeginUpdateAccum(name Name) Item {
 	e.reserved = false
 	e.busy = true
 	rt.ev(trace.EvAccAcquire, name, -1, int64(e.size), 0)
-	return e.item
+	return e
 }
 
 // EndUpdateAccum commits the update and, if a successor is queued, hands
 // the accumulator directly to it.
+//
+// Deprecated: commit the AccumRef returned by UpdateAccum instead.
 func (c *Ctx) EndUpdateAccum(name Name) {
 	rt := c.rt
 	e := rt.cache.lookup(name)
 	if e == nil || !e.busy || !e.owner {
 		rt.protoErr("EndUpdateAccum(%v): not being updated here", name)
 	}
+	c.commitAccum(e)
+}
+
+// commitAccum is the commit path shared by EndUpdateAccum and
+// AccumRef.Commit.
+func (c *Ctx) commitAccum(e *entry) {
+	rt := c.rt
+	name := e.name
 	e.busy = false
 	e.version++
 	rt.ev(trace.EvAccCommit, name, -1, int64(e.size), e.version)
@@ -99,7 +118,16 @@ func (c *Ctx) EndUpdateAccum(name Name) {
 // local copy if any version is cached (possibly stale — that is the
 // point), otherwise a snapshot fetched from a recent holder. The returned
 // data must be treated as read-only and is pinned until EndReadChaotic.
+//
+// Deprecated: use ReadChaotic (method or typed function), whose handle
+// cannot release the wrong snapshot.
 func (c *Ctx) BeginReadChaotic(name Name) Item {
+	return c.readChaotic(name).item
+}
+
+// readChaotic pins a recent snapshot and returns its entry for
+// handle-based release.
+func (c *Ctx) readChaotic(name Name) *entry {
 	rt := c.rt
 	cnt := c.fc.Counters()
 	cnt.SharedAccesses++
@@ -111,7 +139,7 @@ func (c *Ctx) BeginReadChaotic(name Name) Item {
 		rt.cache.reindex(e)
 		rt.ev(trace.EvChaoticRead, name, -1, int64(e.size), 1)
 		rt.ev(trace.EvCachePin, name, -1, 0, int64(e.pins))
-		return e.item
+		return e
 	}
 	cnt.RemoteAccesses++
 	rt.ev(trace.EvChaoticRead, name, -1, 0, 0)
@@ -123,28 +151,23 @@ func (c *Ctx) BeginReadChaotic(name Name) Item {
 			rt.send(c.fc, name.home(rt.n), smallMsgSize,
 				msgChaoticGet{name: name, from: rt.node})
 		}
-		ev.Wait(c.fc, stats.Stall)
+		c.rt.wait(c.fc, ev, stats.Stall)
 		if e := rt.cache.lookup(name); e != nil && e.kind == kindAccum {
-			return e.item // pinned on arrival
+			return e // pinned on arrival
 		}
 	}
 }
 
 // EndReadChaotic releases the pin taken by BeginReadChaotic.
+//
+// Deprecated: release the ChaoticRef returned by ReadChaotic instead.
 func (c *Ctx) EndReadChaotic(name Name) {
 	rt := c.rt
 	e := rt.cache.lookup(name)
 	if e == nil || e.pins <= 0 {
 		rt.protoErr("EndReadChaotic(%v): not being read here", name)
 	}
-	e.pins--
-	rt.ev(trace.EvCacheUnpin, name, -1, 0, int64(e.pins))
-	if e.pins == 0 && !e.owner && (rt.w.opts.NoCache || e.dropOnUnpin) {
-		rt.cache.remove(e)
-		return
-	}
-	rt.cache.reindex(e)
-	rt.cache.touch(e)
+	rt.unpin(e)
 }
 
 // EndUpdateAccumToValue commits the final update and converts the
@@ -153,12 +176,22 @@ func (c *Ctx) EndReadChaotic(name Name) {
 // are reclaimed. uses declares the value's access count as in
 // BeginCreateValue. This is how a datum moves between mutation and
 // read-only phases without copying (Section 3.1).
+//
+// Deprecated: use the AccumRef's CommitToValue instead.
 func (c *Ctx) EndUpdateAccumToValue(name Name, uses int64) {
 	rt := c.rt
 	e := rt.cache.lookup(name)
 	if e == nil || !e.busy || !e.owner {
 		rt.protoErr("EndUpdateAccumToValue(%v): not being updated here", name)
 	}
+	c.commitAccumToValue(e, uses)
+}
+
+// commitAccumToValue is shared by EndUpdateAccumToValue and
+// AccumRef.CommitToValue.
+func (c *Ctx) commitAccumToValue(e *entry, uses int64) {
+	rt := c.rt
+	name := e.name
 	if e.hasNext {
 		rt.protoErr("EndUpdateAccumToValue(%v): another processor still waits to update", name)
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"samsys/internal/fabric/gofab"
+	"samsys/internal/machine"
+	"samsys/internal/pack"
+)
+
+// TestBorrowStableAndReleaseReenablesEviction exercises the zero-copy
+// borrow under cache pressure on a real-time fabric (run it with -race):
+// while a handle is held the entry is pinned, so evictions triggered by
+// later fetches must pass it over and the borrowed contents must never
+// change; dropping the handle makes the copy evictable again.
+func TestBorrowStableAndReleaseReenablesEviction(t *testing.T) {
+	const fillers = 8
+	fab := gofab.New(machine.CM5, 2)
+	// Room for the borrowed value plus one filler copy: every further
+	// fetch must evict something unpinned.
+	w := NewWorld(fab, Options{CacheBytes: 16})
+	err := w.Run(func(c *Ctx) {
+		target := N1(tagT, 21)
+		if c.Node() == 0 {
+			c.CreateValue(target, ints(99), UsesUnlimited)
+			for i := 0; i < fillers; i++ {
+				c.CreateValue(N2(tagT, 22, i), ints(i), UsesUnlimited)
+			}
+		}
+		c.Barrier()
+		if c.Node() == 1 {
+			ref := c.UseValue(target)
+			for i := 0; i < fillers; i++ {
+				v := c.BeginUseValue(N2(tagT, 22, i)).(pack.Ints)
+				if v[0] != i {
+					t.Errorf("filler %d corrupted: %v", i, v[0])
+				}
+				c.EndUseValue(N2(tagT, 22, i))
+				if got := ref.Item().(pack.Ints)[0]; got != 99 {
+					t.Errorf("borrowed value changed under eviction pressure: %d", got)
+				}
+			}
+			if c.rt.cache.evicted == 0 {
+				t.Error("no evictions: cache pressure did not materialize")
+			}
+			if e := c.rt.cache.lookup(target); e == nil {
+				t.Error("pinned entry evicted while borrowed")
+			}
+			ref.Release()
+			// Unpinned now: renewed pressure must reclaim the copy.
+			for i := 0; i < fillers; i++ {
+				c.BeginUseValue(N2(tagT, 22, i))
+				c.EndUseValue(N2(tagT, 22, i))
+			}
+			if e := c.rt.cache.lookup(target); e != nil {
+				t.Error("released copy survived eviction pressure")
+			}
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

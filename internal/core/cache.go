@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
 
 	"samsys/internal/sim"
@@ -39,26 +38,85 @@ type entry struct {
 
 	declaredUses int64 // value: uses declared at creation (owner copy only)
 
-	pins    int           // active uses pinning the copy in memory
-	hasNext bool          // accumulator: a successor is waiting
-	next    int           // accumulator: successor node
-	version int64         // accumulator: committed update count
-	fetched sim.Time      // accumulator: when this copy was last known current
-	lruElem *list.Element // non-nil iff entry is evictable (in the LRU list)
+	pins    int      // active uses pinning the copy in memory
+	hasNext bool     // accumulator: a successor is waiting
+	next    int      // accumulator: successor node
+	version int64    // accumulator: committed update count
+	fetched sim.Time // accumulator: when this copy was last known current
+
+	// Intrusive LRU links; non-nil iff the entry is evictable (in the LRU
+	// list). Threading the list through the entries keeps pin/unpin — the
+	// per-access cache management on every Begin/End — free of
+	// allocations.
+	lruPrev, lruNext *entry
 }
 
 func (e *entry) evictable() bool {
 	return !e.owner && !e.creating && !e.busy && !e.reserved && e.pins == 0
 }
 
+func (e *entry) inLRU() bool { return e.lruNext != nil }
+
+// lruList is an intrusive circular doubly-linked list of evictable
+// entries, front = least recently used.
+type lruList struct {
+	root entry // sentinel: root.lruNext = front, root.lruPrev = back
+	n    int
+}
+
+func (l *lruList) init() {
+	l.root.lruNext = &l.root
+	l.root.lruPrev = &l.root
+	l.n = 0
+}
+
+func (l *lruList) pushBack(e *entry) {
+	at := l.root.lruPrev
+	e.lruPrev = at
+	e.lruNext = &l.root
+	at.lruNext = e
+	l.root.lruPrev = e
+	l.n++
+}
+
+func (l *lruList) remove(e *entry) {
+	e.lruPrev.lruNext = e.lruNext
+	e.lruNext.lruPrev = e.lruPrev
+	e.lruPrev = nil
+	e.lruNext = nil
+	l.n--
+}
+
+func (l *lruList) moveToBack(e *entry) {
+	if l.root.lruPrev == e {
+		return
+	}
+	e.lruPrev.lruNext = e.lruNext
+	e.lruNext.lruPrev = e.lruPrev
+	at := l.root.lruPrev
+	e.lruPrev = at
+	e.lruNext = &l.root
+	at.lruNext = e
+	l.root.lruPrev = e
+}
+
+// front returns the least recently used entry, or nil if the list is
+// empty.
+func (l *lruList) front() *entry {
+	if l.root.lruNext == &l.root {
+		return nil
+	}
+	return l.root.lruNext
+}
+
 // cache is a node's local store of data items: owned items plus an LRU
 // cache of copies fetched from remote processors.
 type cache struct {
 	entries map[Name]*entry
-	lru     *list.List // front = least recently used; evictable entries only
-	used    int64      // bytes across all entries
-	cap     int64      // eviction threshold (owned/pinned bytes may exceed it)
-	evicted int64      // eviction count (for tests and reporting)
+	lru     lruList // evictable entries only
+	used    int64   // bytes across all entries
+	cap     int64   // eviction threshold (owned/pinned bytes may exceed it)
+	evicted int64   // eviction count (for tests and reporting)
 
 	rec      *trace.Recorder // nil when tracing is disabled
 	node     int32
@@ -66,7 +124,9 @@ type cache struct {
 }
 
 func newCache(capBytes int64) *cache {
-	return &cache{entries: make(map[Name]*entry), lru: list.New(), cap: capBytes}
+	c := &cache{entries: make(map[Name]*entry), cap: capBytes}
+	c.lru.init()
+	return c
 }
 
 // ev records one cache event; a no-op unless a recorder is attached.
@@ -83,8 +143,8 @@ func (c *cache) lookup(name Name) *entry { return c.entries[name] }
 
 // touch moves an evictable entry to the MRU position.
 func (c *cache) touch(e *entry) {
-	if e.lruElem != nil {
-		c.lru.MoveToBack(e.lruElem)
+	if e.inLRU() {
+		c.lru.moveToBack(e)
 	}
 }
 
@@ -98,7 +158,7 @@ func (c *cache) insert(e *entry) {
 	c.used += int64(e.size)
 	c.reindex(e)
 	c.evict()
-	c.ev(trace.EvCacheInsert, e.name, int64(e.size), c.used, int64(c.lru.Len()))
+	c.ev(trace.EvCacheInsert, e.name, int64(e.size), c.used, int64(c.lru.n))
 }
 
 // resize adjusts the byte accounting when an item's size changes in
@@ -122,20 +182,18 @@ func (c *cache) resize(e *entry, newSize int) {
 // current evictability. Call after changing pins/owner/busy state.
 func (c *cache) reindex(e *entry) {
 	if e.evictable() {
-		if e.lruElem == nil {
-			e.lruElem = c.lru.PushBack(e)
+		if !e.inLRU() {
+			c.lru.pushBack(e)
 		}
-	} else if e.lruElem != nil {
-		c.lru.Remove(e.lruElem)
-		e.lruElem = nil
+	} else if e.inLRU() {
+		c.lru.remove(e)
 	}
 }
 
 // remove deletes an entry outright.
 func (c *cache) remove(e *entry) {
-	if e.lruElem != nil {
-		c.lru.Remove(e.lruElem)
-		e.lruElem = nil
+	if e.inLRU() {
+		c.lru.remove(e)
 	}
 	if _, ok := c.entries[e.name]; !ok {
 		return
@@ -153,12 +211,11 @@ func (c *cache) remove(e *entry) {
 func (c *cache) evict() {
 	c.evicting = true
 	for c.used > c.cap {
-		front := c.lru.Front()
+		front := c.lru.front()
 		if front == nil {
 			break // everything left is owned or in use; allow overflow
 		}
-		e := front.Value.(*entry)
-		c.remove(e)
+		c.remove(front)
 		c.evicted++
 	}
 	c.evicting = false

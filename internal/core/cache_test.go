@@ -83,12 +83,12 @@ func TestCacheReindexAfterUnpin(t *testing.T) {
 	e := mkEntry(N1(9, 30), 80)
 	e.pins = 1
 	c.insert(e)
-	if e.lruElem != nil {
+	if e.inLRU() {
 		t.Error("pinned entry must not be in LRU")
 	}
 	e.pins = 0
 	c.reindex(e)
-	if e.lruElem == nil {
+	if !e.inLRU() {
 		t.Error("unpinned entry must join LRU")
 	}
 	// Now insertion pressure can evict it.

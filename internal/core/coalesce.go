@@ -1,0 +1,177 @@
+package core
+
+import (
+	"samsys/internal/fabric"
+	"samsys/internal/sim"
+)
+
+// Message coalescing (Options.Coalesce). The paper's cost breakdown
+// (Figure 10) shows SAM overhead dominated by per-message costs:
+// interrupt/poll handling, headers, dispatch. Most protocol traffic is
+// small control messages — gets, notes, acks, release and termination
+// bookkeeping — so a node buffers them per destination and ships one
+// batch instead of many singletons. Correctness needs exactly two rules:
+//
+//  1. Per-link FIFO: a message may never overtake earlier traffic to the
+//     same destination, so any direct (unbatched) send first flushes that
+//     destination's buffer.
+//  2. No buffering across a block: a node flushes everything before it
+//     waits on an event, when a handler finishes, and when its app body
+//     returns. Messages only sit in a buffer while their sender is
+//     actively running, so nobody waits on a buffered message.
+//
+// Rule 2 keeps peers from waiting on buffered messages only if the
+// sender reaches a flush point promptly. An application may instead
+// compute for a long stretch with no fabric calls at all (a bounded
+// polynomial reduction runs for milliseconds), so messages that complete
+// a synchronization a peer may already be blocked on — data grants,
+// handoffs, snapshot replies and creation notices — never enter the
+// window: see urgentMsg. Requests need no such exemption because the
+// requester blocks (and therefore flushes) right after sending.
+//
+// Batches are transparent to the protocol: dispatch unpacks them in
+// order, and the fabric sees one send and one delivery per batch, which
+// keeps the trace conservation and FIFO checkers clean.
+
+const (
+	// coalesceMaxMsg: messages larger than this (data transfers) are sent
+	// immediately rather than delayed behind a flush window.
+	coalesceMaxMsg = 256
+	// coalesceMaxCount / coalesceMaxBytes bound one destination's flush
+	// window; hitting either limit flushes the buffer early.
+	coalesceMaxCount = 32
+	coalesceMaxBytes = 4096
+	// coalesceMaxAge bounds how long a window stays open across task
+	// boundaries: a worker draining a deep task queue never blocks, and
+	// without an age bound the tasks and notes it produces could sit
+	// buffered for its whole run while other processors starve. Short
+	// tasks still batch across many boundaries; long tasks flush at each.
+	coalesceMaxAge = 100 * sim.Microsecond
+)
+
+// urgentMsg reports whether a message must bypass the flush window.
+// These are the data grants of the protocol — value copies, accumulator
+// handoffs, chaotic snapshot replies. A peer is typically blocked right
+// now on a grant, and the granting application may run a long
+// computation before its next flush point, so a buffered grant could
+// stall the peer for that whole stretch (in the worst case serializing
+// the system on one node's compute phase). Grants also batch poorly:
+// they are rare next to bookkeeping chatter and usually exceed the
+// small-message bound anyway. Everything else either is bookkeeping
+// nobody blocks on, rides a bounded window (creation notices and tasks
+// flush at the age bound), or is a request whose sender flushes by
+// blocking immediately after.
+func urgentMsg(payload any) bool {
+	switch payload.(type) {
+	case msgValData, msgAccData, msgChaoticData:
+		return true
+	}
+	return false
+}
+
+// msgBatch carries several protocol messages as one fabric message.
+// Modeled size: the sum of the member sizes minus the headers saved
+// (every member after the first rides under the batch's single header).
+type msgBatch struct {
+	msgs []any
+}
+
+// outMsg is one buffered protocol message.
+type outMsg struct {
+	size    int
+	payload any
+}
+
+// batchBuf is the per-destination flush window.
+type batchBuf struct {
+	msgs   []outMsg
+	bytes  int
+	queued bool // in the coalescer's dirty list
+}
+
+// coalescer holds a node's outgoing flush windows. All access is from
+// the node's app or handler context (the fabric serializes them).
+type coalescer struct {
+	bufs   []batchBuf
+	dirty  []int    // destinations with buffered messages
+	opened sim.Time // when the oldest open window was started
+}
+
+func newCoalescer(n int) *coalescer {
+	return &coalescer{bufs: make([]batchBuf, n)}
+}
+
+// add buffers one small message for dst, or sends a large or urgent one
+// directly (flushing first to preserve link order).
+func (co *coalescer) add(fc fabric.Ctx, dst, size int, payload any) {
+	if size > coalesceMaxMsg || urgentMsg(payload) {
+		co.flush(fc, dst)
+		fc.Counters().RawMessages++
+		fc.Send(dst, size, payload)
+		return
+	}
+	b := &co.bufs[dst]
+	if !b.queued {
+		if len(co.dirty) == 0 {
+			co.opened = fc.Now()
+		}
+		b.queued = true
+		co.dirty = append(co.dirty, dst)
+	}
+	b.msgs = append(b.msgs, outMsg{size: size, payload: payload})
+	b.bytes += size
+	if len(b.msgs) >= coalesceMaxCount || b.bytes >= coalesceMaxBytes {
+		co.flush(fc, dst)
+	}
+}
+
+// flush sends dst's buffered messages: alone if there is just one,
+// otherwise as a batch. The buffer is emptied before Send because Send
+// can block and re-enter the handler, which may buffer — and flush —
+// more traffic for the same destination.
+func (co *coalescer) flush(fc fabric.Ctx, dst int) {
+	b := &co.bufs[dst]
+	n := len(b.msgs)
+	b.queued = false
+	if n == 0 {
+		return
+	}
+	cnt := fc.Counters()
+	if n == 1 {
+		m := b.msgs[0]
+		b.msgs[0] = outMsg{}
+		b.msgs = b.msgs[:0]
+		b.bytes = 0
+		cnt.RawMessages++
+		fc.Send(dst, m.size, m.payload)
+		return
+	}
+	msgs := make([]any, n)
+	for i, m := range b.msgs {
+		msgs[i] = m.payload
+		b.msgs[i] = outMsg{}
+	}
+	size := b.bytes - (n-1)*msgHeaderBytes
+	b.msgs = b.msgs[:0]
+	b.bytes = 0
+	cnt.CoalescedMessages += int64(n)
+	cnt.Batches++
+	fc.Send(dst, size, msgBatch{msgs: msgs})
+}
+
+// stale reports whether the oldest open window has exceeded the age
+// bound; used at task boundaries, where flushing is optional.
+func (co *coalescer) stale(fc fabric.Ctx) bool {
+	return len(co.dirty) > 0 && fc.Now()-co.opened >= coalesceMaxAge
+}
+
+// flushAll drains every dirty destination. Re-entrant: a flush that
+// blocks inside Send can run handlers that buffer and flush more
+// messages; the dirty list absorbs both.
+func (co *coalescer) flushAll(fc fabric.Ctx) {
+	for len(co.dirty) > 0 {
+		dst := co.dirty[len(co.dirty)-1]
+		co.dirty = co.dirty[:len(co.dirty)-1]
+		co.flush(fc, dst)
+	}
+}

@@ -63,7 +63,7 @@ func (c *Ctx) Barrier() {
 	c.fc.Counters().Barriers++
 	rt.ev(trace.EvBarrierArrive, Name{}, 0, 0, rt.barEpoch)
 	rt.send(c.fc, 0, smallMsgSize, msgBarrierArrive{epoch: rt.barEpoch, from: rt.node})
-	ev.Wait(c.fc, stats.Idle)
+	c.rt.wait(c.fc, ev, stats.Idle)
 }
 
 // handleBarrierArrive (node 0): release everyone once all have arrived.

@@ -39,6 +39,17 @@ type Options struct {
 	// stays recent.
 	ChaoticMaxAge sim.Time
 
+	// Coalesce batches small control messages per destination: instead of
+	// handing each protocol message to the fabric immediately, a node
+	// buffers them and flushes the batch when it blocks, when a handler
+	// finishes, or when the buffer reaches its window limits. One batch
+	// costs one fabric message and one header, so protocol chatter
+	// (acks, notes, release/uses bookkeeping) stops paying the
+	// per-message cost the paper's Figure 10 highlights. Off by default:
+	// the simfab experiments model per-message costs and stay exactly as
+	// the paper measured them.
+	Coalesce bool
+
 	// Trace, when non-nil, records every directory-protocol transition,
 	// cache movement, barrier and task event into the given recorder.
 	// Attach the same recorder to the fabric (simfab/gofab SetTracer) to

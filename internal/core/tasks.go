@@ -38,6 +38,15 @@ func (c *Ctx) SetTaskOrder(less func(a, b any) bool) {
 func (c *Ctx) NextTask() (task any, ok bool) {
 	rt := c.rt
 	rt.inTask = false
+	// Task boundaries flush coalescing windows that have aged past their
+	// bound, even when the local queue is non-empty: a worker chewing
+	// through a full queue may not block for a long time, and the tasks
+	// and notes it produced must not sit buffered while other processors
+	// starve for them. Windows younger than the bound stay open so short
+	// tasks still batch their traffic across several boundaries.
+	if rt.co != nil && rt.co.stale(c.fc) {
+		rt.flushOut(c.fc)
+	}
 	for {
 		if rt.taskq.Len() > 0 {
 			rt.processed++
@@ -56,7 +65,7 @@ func (c *Ctx) NextTask() (task any, ok bool) {
 		}
 		ev := c.fc.NewEvent()
 		rt.taskEv = ev
-		ev.Wait(c.fc, stats.Idle)
+		c.rt.wait(c.fc, ev, stats.Idle)
 		rt.taskEv = nil
 	}
 }

@@ -61,7 +61,17 @@ func (c *Ctx) CreateValue(name Name, item Item, uses int64) {
 // BeginUseValue returns the named value, suspending the caller until the
 // value has been created and a copy brought to this processor. The copy is
 // pinned until EndUseValue.
+//
+// Deprecated: use UseValue (or the typed Use), whose handle cannot
+// release the wrong borrow and whose Release is lookup-free.
 func (c *Ctx) BeginUseValue(name Name) Item {
+	return c.useValue(name).item
+}
+
+// useValue pins the named value locally — the cached fast path returns
+// the existing entry with no copy and no allocation — and returns its
+// entry for handle-based release.
+func (c *Ctx) useValue(name Name) *entry {
 	rt := c.rt
 	cnt := c.fc.Counters()
 	cnt.SharedAccesses++
@@ -73,7 +83,7 @@ func (c *Ctx) BeginUseValue(name Name) Item {
 		rt.cache.reindex(e)
 		rt.ev(trace.EvValUse, name, -1, int64(e.size), 1)
 		rt.ev(trace.EvCachePin, name, -1, 0, int64(e.pins))
-		return e.item
+		return e
 	}
 	cnt.RemoteAccesses++
 	rt.ev(trace.EvValUse, name, -1, 0, 0)
@@ -81,28 +91,23 @@ func (c *Ctx) BeginUseValue(name Name) Item {
 		ev := c.fc.NewEvent()
 		rt.valWait[name] = append(rt.valWait[name], valWaiter{ev: ev, pin: true})
 		rt.requestValue(c.fc, name)
-		ev.Wait(c.fc, stats.Stall)
+		c.rt.wait(c.fc, ev, stats.Stall)
 		if e := rt.cache.lookup(name); e != nil && e.kind == kindValue && !e.creating {
-			return e.item // pinned on arrival on our behalf
+			return e // pinned on arrival on our behalf
 		}
 	}
 }
 
 // EndUseValue releases the pin taken by BeginUseValue.
+//
+// Deprecated: release the ValueRef returned by UseValue instead.
 func (c *Ctx) EndUseValue(name Name) {
 	rt := c.rt
 	e := rt.cache.lookup(name)
 	if e == nil || e.pins <= 0 {
 		rt.protoErr("EndUseValue(%v): not in use here", name)
 	}
-	e.pins--
-	rt.ev(trace.EvCacheUnpin, name, -1, 0, int64(e.pins))
-	if e.pins == 0 && !e.owner && (rt.w.opts.NoCache || e.dropOnUnpin) {
-		rt.cache.remove(e)
-		return
-	}
-	rt.cache.reindex(e)
-	rt.cache.touch(e)
+	rt.unpin(e)
 }
 
 // DoneValue consumes k of the value's declared uses. When all declared
@@ -144,7 +149,7 @@ func (c *Ctx) BeginRenameValue(old, new Name, uses int64) Item {
 	ev := c.fc.NewEvent()
 	rt.renameWait[old] = ev
 	rt.send(c.fc, old.home(rt.n), smallMsgSize, msgRenameReq{name: old, from: rt.node})
-	ev.Wait(c.fc, stats.Stall)
+	c.rt.wait(c.fc, ev, stats.Stall)
 	// All uses have drained; recycle the storage under the new name.
 	rt.cache.remove(e)
 	ne := &entry{

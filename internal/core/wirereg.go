@@ -176,7 +176,33 @@ func init() {
 	wire.Register("sam.terminate",
 		func(e *wire.Encoder, m msgTerminate) {},
 		func(d *wire.Decoder) msgTerminate { return msgTerminate{} })
+	wire.Register("sam.batch",
+		func(e *wire.Encoder, m msgBatch) {
+			e.Int(len(m.msgs))
+			for _, p := range m.msgs {
+				e.Any(p)
+			}
+		},
+		func(d *wire.Decoder) msgBatch {
+			n := d.Int()
+			if n < 0 || n > maxBatchDecode {
+				d.Failf("batch of %d messages", n)
+				return msgBatch{}
+			}
+			msgs := make([]any, 0, n)
+			for i := 0; i < n; i++ {
+				msgs = append(msgs, d.Any())
+				if d.Err() != nil {
+					return msgBatch{}
+				}
+			}
+			return msgBatch{msgs: msgs}
+		})
 }
+
+// maxBatchDecode rejects absurd batch lengths before allocating; real
+// batches are capped far lower by coalesceMaxCount.
+const maxBatchDecode = 1 << 16
 
 // WireSamples returns one canonical encoding of every core protocol message
 // (with representative payloads), seeding the wire codec's round-trip fuzz
@@ -211,6 +237,11 @@ func WireSamples() [][]byte {
 		msgTermProbe{round: 2},
 		msgTermReply{round: 2, from: 1, spawned: 10, processed: 10, idle: true},
 		msgTerminate{},
+		msgBatch{msgs: []any{
+			msgCopyNote{name: name, holder: 5},
+			msgUsesDone{name: name, k: 1},
+			msgBarrierArrive{epoch: 1, from: 0},
+		}},
 	}
 	out := make([][]byte, len(msgs))
 	for i, m := range msgs {

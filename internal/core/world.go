@@ -42,7 +42,9 @@ func (w *World) Options() Options { return w.opts }
 // callers can tell a runtime failure from an application error.
 func (w *World) Run(app func(*Ctx)) error {
 	err := w.fab.Run(func(fc fabric.Ctx) {
-		app(&Ctx{fc: fc, rt: w.nodes[fc.Node()], w: w})
+		rt := w.nodes[fc.Node()]
+		app(&Ctx{fc: fc, rt: rt, w: w})
+		rt.flushOut(fc) // nothing may stay buffered once the app is done
 	})
 	if err != nil {
 		return fmt.Errorf("sam: world run: %w", err)
@@ -50,9 +52,13 @@ func (w *World) Run(app func(*Ctx)) error {
 	return nil
 }
 
-// handle dispatches one incoming message on its destination node.
+// handle dispatches one incoming message on its destination node, then
+// flushes whatever the handlers buffered: handler context ends here, and
+// buffered messages must never outlive the context that wrote them.
 func (w *World) handle(hc fabric.Ctx, m fabric.Message) {
-	w.nodes[hc.Node()].dispatch(hc, m.Payload)
+	rt := w.nodes[hc.Node()]
+	rt.dispatch(hc, m.Payload)
+	rt.flushOut(hc)
 }
 
 // nodeRT is the per-node SAM runtime state. All access happens in the
@@ -64,6 +70,7 @@ type nodeRT struct {
 	n     int
 	dir   map[Name]*dirEntry
 	cache *cache
+	co    *coalescer      // non-nil iff Options.Coalesce
 	tr    *trace.Recorder // nil when tracing is disabled
 
 	// Value machinery.
@@ -114,6 +121,9 @@ func newNodeRT(w *World, node, n int) *nodeRT {
 	// Until the app first calls NextTask it may still spawn seed tasks,
 	// so it counts as busy for termination detection.
 	rt.inTask = true
+	if w.opts.Coalesce {
+		rt.co = newCoalescer(n)
+	}
 	if node == 0 {
 		rt.barArrived = make(map[int64]int)
 		rt.term = newTermState(n)
@@ -189,12 +199,38 @@ func (rt *nodeRT) send(fc fabric.Ctx, dst, size int, payload any) {
 		rt.dispatch(fc, payload)
 		return
 	}
+	if rt.co != nil {
+		rt.co.add(fc, dst, size, payload)
+		return
+	}
+	fc.Counters().RawMessages++
 	fc.Send(dst, size, payload)
+}
+
+// flushOut sends every buffered protocol message; a no-op unless
+// coalescing is on. Called before the node blocks, when a top-level
+// handler finishes, and when the app body returns.
+func (rt *nodeRT) flushOut(fc fabric.Ctx) {
+	if rt.co != nil {
+		rt.co.flushAll(fc)
+	}
+}
+
+// wait flushes buffered messages and then blocks on ev. Every blocking
+// wait in the runtime goes through here: a node must never sleep on a
+// reply while the request sits in its own flush window.
+func (rt *nodeRT) wait(fc fabric.Ctx, ev fabric.Event, cat int) {
+	rt.flushOut(fc)
+	ev.Wait(fc, cat)
 }
 
 // dispatch routes one protocol message to its handler.
 func (rt *nodeRT) dispatch(fc fabric.Ctx, payload any) {
 	switch m := payload.(type) {
+	case msgBatch:
+		for _, p := range m.msgs {
+			rt.dispatch(fc, p)
+		}
 	case msgValCreated:
 		rt.handleValCreated(fc, m)
 	case msgValGet:

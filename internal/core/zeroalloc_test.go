@@ -1,0 +1,57 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"samsys/internal/fabric/gofab"
+	"samsys/internal/machine"
+	"samsys/internal/pack"
+)
+
+// TestCachedUseValueZeroAlloc verifies the hot-path guarantee: once a
+// value is cached locally, a UseValue/Release borrow performs zero
+// allocations — no copy of the data, no tracking allocation. The other
+// node is parked in a barrier for the measurement, so the node under
+// test is quiescent apart from the borrows themselves. (Excluded under
+// the race detector, whose instrumentation allocates.)
+func TestCachedUseValueZeroAlloc(t *testing.T) {
+	fab := gofab.New(machine.CM5, 2)
+	w := NewWorld(fab, Options{})
+	handleAllocs, beginEndAllocs := -1.0, -1.0
+	err := w.Run(func(c *Ctx) {
+		name := N1(tagT, 7)
+		if c.Node() == 0 {
+			c.CreateValue(name, ints(42), UsesUnlimited)
+		}
+		c.Barrier()
+		if c.Node() == 1 {
+			// Prime the cache: the first access fetches and caches.
+			r := c.UseValue(name)
+			if got := r.Item().(pack.Ints)[0]; got != 42 {
+				t.Errorf("borrowed value = %d, want 42", got)
+			}
+			r.Release()
+			handleAllocs = testing.AllocsPerRun(1000, func() {
+				ref := c.UseValue(name)
+				_ = ref.Item()
+				ref.Release()
+			})
+			beginEndAllocs = testing.AllocsPerRun(1000, func() {
+				_ = c.BeginUseValue(name)
+				c.EndUseValue(name)
+			})
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handleAllocs != 0 {
+		t.Errorf("cached UseValue/Release: %v allocs per borrow, want 0", handleAllocs)
+	}
+	if beginEndAllocs != 0 {
+		t.Errorf("cached BeginUseValue/EndUseValue: %v allocs per borrow, want 0", beginEndAllocs)
+	}
+}

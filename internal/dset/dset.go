@@ -42,10 +42,10 @@ func (s Set) Create(c *core.Ctx) {
 // acquired exclusively (it migrates here), so concurrent Adds from many
 // processors are serialized and indices are unique.
 func (s Set) Add(c *core.Ctx, item core.Item) int64 {
-	ci := c.BeginUpdateAccum(s.countName()).(*countItem)
+	ci, ref := core.Update[*countItem](c, s.countName())
 	idx := ci.n
 	ci.n++
-	c.EndUpdateAccum(s.countName())
+	ref.Commit()
 	c.CreateValue(s.ElemName(idx), item, core.UsesUnlimited)
 	return idx
 }
@@ -57,23 +57,23 @@ func (s Set) Add(c *core.Ctx, item core.Item) int64 {
 // application uses it so a new polynomial is only added after reduction
 // against every basis element present at add time.
 func (s Set) AddIf(c *core.Ctx, expected int64, item core.Item) (int64, bool) {
-	ci := c.BeginUpdateAccum(s.countName()).(*countItem)
+	ci, ref := core.Update[*countItem](c, s.countName())
 	if ci.n != expected {
 		n := ci.n
-		c.EndUpdateAccum(s.countName())
+		ref.Commit()
 		return n, false
 	}
 	ci.n++
-	c.EndUpdateAccum(s.countName())
+	ref.Commit()
 	c.CreateValue(s.ElemName(expected), item, core.UsesUnlimited)
 	return expected, true
 }
 
 // Len returns the exact element count, acquiring the accumulator.
 func (s Set) Len(c *core.Ctx) int64 {
-	ci := c.BeginUpdateAccum(s.countName()).(*countItem)
+	ci, ref := core.Update[*countItem](c, s.countName())
 	n := ci.n
-	c.EndUpdateAccum(s.countName())
+	ref.Commit()
 	return n
 }
 
@@ -83,19 +83,30 @@ func (s Set) Len(c *core.Ctx) int64 {
 // a reader may briefly block on the newest element, but never sees a
 // dangling index).
 func (s Set) LenChaotic(c *core.Ctx) int64 {
-	ci := c.BeginReadChaotic(s.countName()).(*countItem)
+	ci, ref := core.ReadChaotic[*countItem](c, s.countName())
 	n := ci.n
-	c.EndReadChaotic(s.countName())
+	ref.Release()
 	return n
 }
 
-// BeginGet pins element i and returns it; pair with EndGet. The element
-// is fetched on first access and served from the SAM cache afterwards.
+// Get pins element i and returns it together with the borrow handle;
+// drop the handle with Release. The element is fetched on first access
+// and served from the SAM cache afterwards.
+func (s Set) Get(c *core.Ctx, i int64) (core.Item, core.ValueRef) {
+	ref := c.UseValue(s.ElemName(i))
+	return ref.Item(), ref
+}
+
+// BeginGet pins element i and returns it; pair with EndGet.
+//
+// Deprecated: use Get, whose handle cannot release the wrong element.
 func (s Set) BeginGet(c *core.Ctx, i int64) core.Item {
 	return c.BeginUseValue(s.ElemName(i))
 }
 
 // EndGet releases element i.
+//
+// Deprecated: release the handle returned by Get instead.
 func (s Set) EndGet(c *core.Ctx, i int64) {
 	c.EndUseValue(s.ElemName(i))
 }

@@ -63,11 +63,11 @@ func TestElementsReadableEverywhere(t *testing.T) {
 		c.Barrier()
 		n := s.Len(c)
 		for i := int64(0); i < n; i++ {
-			v := s.BeginGet(c, i).(pack.Ints)
-			if v[0] != int(i*i) {
+			it, ref := s.Get(c, i)
+			if v := it.(pack.Ints); v[0] != int(i*i) {
 				t.Errorf("element %d = %d, want %d", i, v[0], i*i)
 			}
-			s.EndGet(c, i)
+			ref.Release()
 		}
 	})
 	if err != nil {

@@ -45,7 +45,7 @@ type Fab struct {
 	start    time.Time
 	elapsed  sim.Time
 	ran      bool
-	done     atomicBool
+	done     chan struct{} // closed when every app body has returned
 
 	tr *trace.Recorder
 	// linkSeq[src][dst] is only touched by src's goroutine: race-free.
@@ -113,7 +113,7 @@ func (f *Fab) Run(app func(c fabric.Ctx)) error {
 		return fmt.Errorf("gofab: Run called twice")
 	}
 	f.ran = true
-	f.done.Store(false)
+	f.done = make(chan struct{})
 	f.start = time.Now()
 	var appWg, drainWg sync.WaitGroup
 	appWg.Add(f.n)
@@ -126,24 +126,15 @@ func (f *Fab) Run(app func(c fabric.Ctx)) error {
 			appWg.Done()
 			// Keep draining protocol messages until every app is done,
 			// so other nodes' fetches to this node still get served.
-			c.drainUntil(&f.done)
+			c.drainUntil(f.done)
 		}()
 	}
 	appWg.Wait()
-	f.done.Store(true)
+	close(f.done)
 	drainWg.Wait()
 	f.elapsed = sim.Time(time.Since(f.start))
 	return nil
 }
-
-// done flags the end of the run for the post-app drain loops.
-type atomicBool struct {
-	mu sync.Mutex
-	v  bool
-}
-
-func (b *atomicBool) Store(v bool) { b.mu.Lock(); b.v = v; b.mu.Unlock() }
-func (b *atomicBool) Load() bool   { b.mu.Lock(); defer b.mu.Unlock(); return b.v }
 
 // Report returns the cost breakdown accumulated by Charge calls.
 func (f *Fab) Report() []stats.NodeReport {
@@ -202,9 +193,20 @@ func (c *ctx) Send(dst, size int, payload any) {
 			c.poll()
 			return
 		default:
-			// Destination full: service our own queue to avoid deadlock,
-			// then retry.
-			c.pollBlocking()
+		}
+		// Destination full: service our own queue to avoid deadlock (the
+		// destination may itself be blocked sending to us), then retry.
+		// The non-blocking attempt above must come first: handlers may
+		// re-enter Send for the same destination, and taking a message
+		// while the queue has room would deliver the nested message's
+		// link sequence number before ours. The select blocks until one
+		// side makes progress, so a stalled sender burns no CPU.
+		select {
+		case c.fab.inboxes[dst] <- im:
+			c.poll()
+			return
+		case in := <-c.fab.inboxes[c.node]:
+			c.handle(in)
 		}
 	}
 }
@@ -230,20 +232,21 @@ func (c *ctx) poll() {
 	}
 }
 
-// pollBlocking handles at least one message (or yields briefly).
-func (c *ctx) pollBlocking() {
-	select {
-	case im := <-c.fab.inboxes[c.node]:
-		c.handle(im)
-	case <-time.After(50 * time.Microsecond):
-	}
-}
-
 // drainUntil keeps serving protocol messages after the app body returns,
-// until every node's app is done.
-func (c *ctx) drainUntil(done *atomicBool) {
-	for !done.Load() {
-		c.pollBlocking()
+// until every node's app is done. The node sleeps on its inbox — an idle
+// node burns no CPU — and wakes either for a message or for the
+// end-of-run signal.
+func (c *ctx) drainUntil(done chan struct{}) {
+	for {
+		select {
+		case im := <-c.fab.inboxes[c.node]:
+			c.handle(im)
+		case <-done:
+			// Serve anything that raced in before the close; the protocol
+			// is quiescent once every app has passed its final barrier.
+			c.poll()
+			return
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package netfab
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -40,11 +41,12 @@ const (
 const maxFrame = 1 << 30
 
 // writeFrame appends the uvarint length prefix and body to w. The caller
-// decides when to Flush (the per-peer writer batches).
+// decides when to Flush (the per-peer writer batches). The prefix goes
+// through a stack array so the hot path allocates nothing.
 func writeFrame(w *bufio.Writer, body []byte) error {
-	var e wire.Encoder
-	e.Uvarint(uint64(len(body)))
-	if _, err := w.Write(e.Bytes()); err != nil {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	_, err := w.Write(body)
@@ -120,10 +122,14 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 const outCap = 1 << 12
 
 // outFrame is one queued data frame plus its per-link sequence number;
-// the sequence orders the resend window and lets acks trim it.
+// the sequence orders the resend window and lets acks trim it. body
+// aliases enc's buffer; once the frame is acked the encoder returns to
+// the wire pool, so the body must not be touched after trimAcked drops
+// the frame.
 type outFrame struct {
 	seq  int64
 	body []byte
+	enc  *wire.Encoder
 }
 
 // peer is one outgoing data link: a dialed connection, a writer goroutine
@@ -182,7 +188,8 @@ func (p *peer) closeConn() {
 // sendHello writes the link-opening frame directly (it is not part of the
 // sequenced data stream and must precede any resend).
 func (f *Fab) sendHello(conn net.Conn, resume bool) error {
-	var e wire.Encoder
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Uint8(frHello)
 	e.Int(f.rank)
 	e.Bool(resume)
@@ -249,10 +256,15 @@ func (f *Fab) ackLoop(p *peer, conn net.Conn, gen int) {
 	}
 }
 
-// trimAcked drops acknowledged frames from the front of the window.
+// trimAcked drops acknowledged frames from the front of the window,
+// returning their encode buffers to the wire pool — the receiver has
+// accepted them, so no resend can need the bytes again.
 func trimAcked(unacked []outFrame, acked int64) []outFrame {
 	i := 0
 	for i < len(unacked) && unacked[i].seq <= acked {
+		wire.PutEncoder(unacked[i].enc)
+		unacked[i].enc = nil
+		unacked[i].body = nil
 		i++
 	}
 	return unacked[i:]
@@ -497,7 +509,8 @@ func (f *Fab) serveConn(conn net.Conn) {
 // sendAck writes one cumulative ack back to the dialer on the data
 // connection's reverse direction.
 func (f *Fab) sendAck(conn net.Conn, bw *bufio.Writer, seq int64) error {
-	var e wire.Encoder
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Uint8(frAck)
 	e.Varint(seq)
 	conn.SetWriteDeadline(time.Now().Add(f.opts.Write))

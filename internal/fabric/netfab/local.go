@@ -24,11 +24,12 @@ type Cluster struct {
 	elapsed sim.Time
 }
 
-// NewLocal bootstraps an n-node loopback cluster with default Options.
+// NewLocal bootstraps an n-node loopback cluster; functional options
+// (WithBootTimeout, WithAckWindow, ...) override the Options defaults.
 // The rendezvous listener is bound first so every rank knows the address
 // before any rank joins.
-func NewLocal(prof machine.Profile, n int) (*Cluster, error) {
-	return NewLocalOpts(prof, n, Options{})
+func NewLocal(prof machine.Profile, n int, opts ...Option) (*Cluster, error) {
+	return NewLocalOpts(prof, n, Options{}.Apply(opts...))
 }
 
 // NewLocalOpts is NewLocal with explicit timeout/window Options, shared by

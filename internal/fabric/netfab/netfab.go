@@ -464,11 +464,22 @@ func (c *ctx) Send(dst, size int, payload any) {
 				c.poll()
 				return
 			default:
-				c.pollBlocking()
+			}
+			// Inbox full: service it until there is room. Handlers may
+			// re-enter Send, so the enqueue attempt above must come first —
+			// taking a message when the queue has room could let a nested
+			// send overtake this one on the link. The select blocks, so a
+			// stalled rank burns no CPU.
+			select {
+			case f.inbox <- im:
+				c.poll()
+				return
+			case in := <-f.inbox:
+				c.handle(in)
 			}
 		}
 	}
-	var e wire.Encoder
+	e := wire.GetEncoder()
 	e.Uint8(frData)
 	e.Int(size)
 	e.Varint(seq)
@@ -478,16 +489,30 @@ func (c *ctx) Send(dst, size int, payload any) {
 			Peer: int32(dst), Size: int64(size), Aux: seq})
 	}
 	p := f.peer(dst)
-	of := outFrame{seq: seq, body: e.Bytes()}
+	// The encoder rides along; trimAcked recycles it once the receiver
+	// has accepted the frame and no resend can need the bytes.
+	of := outFrame{seq: seq, body: e.Bytes(), enc: e}
 	for {
 		select {
 		case p.out <- of:
 			c.poll()
 			return
 		default:
-			// Destination queue full: service our own inbox to avoid
-			// send-send deadlock, then retry.
-			c.pollBlocking()
+		}
+		// Destination queue full: service our own inbox to avoid send-send
+		// deadlock. The non-blocking attempt above must come first: a
+		// handled message can re-enter Send for the same link, and taking
+		// that path while the queue has room would enqueue the nested
+		// message's higher sequence number before ours. The select blocks
+		// until the writer drains the queue or a message arrives.
+		select {
+		case p.out <- of:
+			c.poll()
+			return
+		case in := <-f.inbox:
+			c.handle(in)
+		case <-f.fail:
+			panic(f.err())
 		}
 	}
 }
@@ -511,17 +536,6 @@ func (c *ctx) poll() {
 		default:
 			return
 		}
-	}
-}
-
-// pollBlocking handles at least one message (or yields briefly).
-func (c *ctx) pollBlocking() {
-	select {
-	case im := <-c.fab.inbox:
-		c.handle(im)
-	case <-c.fab.fail:
-		panic(c.fab.err())
-	case <-time.After(50 * time.Microsecond):
 	}
 }
 

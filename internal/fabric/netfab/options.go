@@ -40,6 +40,49 @@ type Options struct {
 	AckEvery int
 }
 
+// Option adjusts one Options field; pass to NewLocal (or apply to an
+// Options value with Apply) instead of filling the struct by hand.
+type Option func(*Options)
+
+// WithBootTimeout bounds the bootstrap rendezvous and first dials.
+func WithBootTimeout(d time.Duration) Option {
+	return func(o *Options) { o.Boot = d }
+}
+
+// WithLinkRetry bounds one data-link outage before the fabric fails.
+func WithLinkRetry(d time.Duration) Option {
+	return func(o *Options) { o.LinkRetry = d }
+}
+
+// WithWriteTimeout sets the per-flush write deadline.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(o *Options) { o.Write = d }
+}
+
+// WithDrainQuiet sets the end-of-run link-quiet window.
+func WithDrainQuiet(d time.Duration) Option {
+	return func(o *Options) { o.DrainQuiet = d }
+}
+
+// WithAckWindow caps unacknowledged data frames per outgoing link.
+func WithAckWindow(frames int) Option {
+	return func(o *Options) { o.AckWindow = frames }
+}
+
+// WithAckEvery sets the receiver's cumulative-ack batching interval.
+func WithAckEvery(frames int) Option {
+	return func(o *Options) { o.AckEvery = frames }
+}
+
+// Apply folds the options into o and returns the result; useful when a
+// Config is built by hand for Join.
+func (o Options) Apply(opts ...Option) Options {
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 func (o Options) withDefaults() Options {
 	if o.Boot == 0 {
 		o.Boot = 30 * time.Second

@@ -84,6 +84,14 @@ type Counters struct {
 	Prefetches      int64 // asynchronous fetches issued
 	Barriers        int64 // barrier episodes this processor participated in
 	Invalidations   int64 // invalidation messages (non-chaotic mode)
+
+	// Message-coalescing accounting (core.Options.Coalesce). A protocol
+	// message is "coalesced" when it rode inside a batch rather than
+	// paying its own fabric send; "raw" when it went out alone. Batches
+	// themselves appear in Messages like any other fabric send.
+	CoalescedMessages int64 // protocol messages delivered inside a batch
+	RawMessages       int64 // protocol messages sent unbatched
+	Batches           int64 // batch envelopes sent
 }
 
 // Add accumulates other into c.
@@ -106,6 +114,9 @@ func (c *Counters) Add(other *Counters) {
 	c.Prefetches += other.Prefetches
 	c.Barriers += other.Barriers
 	c.Invalidations += other.Invalidations
+	c.CoalescedMessages += other.CoalescedMessages
+	c.RawMessages += other.RawMessages
+	c.Batches += other.Batches
 }
 
 // NodeReport is the cost breakdown for one processor over a run.

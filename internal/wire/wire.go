@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Encoder appends canonical binary encodings to a growing buffer. The zero
@@ -38,6 +39,29 @@ func (e *Encoder) Len() int { return len(e.b) }
 
 // Reset discards the buffer contents, retaining capacity.
 func (e *Encoder) Reset() { e.b = e.b[:0] }
+
+// encPool recycles Encoders across frames so steady-state encoding does
+// not allocate. Buffers above poolCap are dropped on Put so one huge
+// data item does not pin its memory for the life of the process.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+const poolCap = 64 << 10
+
+// GetEncoder returns an empty Encoder from the package pool.
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns e to the pool. The caller must no longer hold any
+// slice aliasing e's buffer (Bytes results included).
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.b) > poolCap {
+		return
+	}
+	encPool.Put(e)
+}
 
 // Uvarint appends an unsigned varint.
 func (e *Encoder) Uvarint(u uint64) { e.b = binary.AppendUvarint(e.b, u) }
