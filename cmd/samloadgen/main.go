@@ -1,0 +1,187 @@
+// Command samloadgen drives a shared-object store with an open-loop
+// Poisson workload and reports per-op latency percentiles.
+//
+// Against a running cluster (samstore):
+//
+//	samloadgen -addr 127.0.0.1:7100 -sessions 64 -rate 500 -duration 5s
+//
+// Or fully self-contained — boot a 4-rank in-process cluster, drive it,
+// shut it down, with the trace invariant checker watching every protocol
+// event the workload induces:
+//
+//	samloadgen -local 4 -check -sessions 64 -rate 500 -duration 2s -out report.json
+//
+// The whole workload derives from -seed: -plan-only writes the exact op
+// schedule as JSON without running it, and two invocations with the same
+// flags produce byte-identical plans. -sweep runs the mix at several
+// offered rates to map the saturation knee.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"samsys/internal/fabric/netfab"
+	"samsys/internal/machine"
+	"samsys/internal/store"
+	"samsys/internal/trace"
+)
+
+var (
+	addr     = flag.String("addr", "", "address of any serving rank")
+	local    = flag.Int("local", 0, "boot an in-process cluster with this many ranks instead of dialing")
+	check    = flag.Bool("check", false, "local mode: attach the trace invariant checker and fail on violations")
+	profName = flag.String("profile", "cm5", "machine profile for the local cluster")
+
+	sessions = flag.Int("sessions", 16, "concurrent sessions")
+	tenants  = flag.Int("tenants", 2, "tenants the sessions spread over")
+	rate     = flag.Float64("rate", 200, "aggregate offered ops/sec")
+	duration = flag.Duration("duration", 2*time.Second, "workload duration")
+	mixSpec  = flag.String("mix", "use:6,update:3,create:1,chaotic:2", "op mix weights")
+	seed     = flag.Int64("seed", 1, "workload seed; same seed, same workload")
+	valLen   = flag.Int("val-len", 16, "elements per object")
+	label    = flag.String("label", "", "tenant-namespace label (keeps repeated runs disjoint)")
+
+	planOnly  = flag.Bool("plan-only", false, "write the op schedule as JSON and exit without running")
+	sweepSpec = flag.String("sweep", "", "comma-separated rates for a saturation sweep (overrides -rate)")
+	out       = flag.String("out", "", "write the JSON report here (default stdout)")
+	timeout   = flag.Duration("timeout", 10*time.Second, "client dial/handshake timeout")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "samloadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseMix(s string) (store.MixWeights, error) {
+	var m store.MixWeights
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad mix entry %q (want name:weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "use":
+			m.Use = w
+		case "update":
+			m.Update = w
+		case "create":
+			m.Create = w
+		case "chaotic":
+			m.Chaotic = w
+		default:
+			return m, fmt.Errorf("unknown mix op %q (use|update|create|chaotic)", kv[0])
+		}
+	}
+	return m, nil
+}
+
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func run() error {
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	cfg := store.Config{
+		Sessions: *sessions,
+		Tenants:  *tenants,
+		Rate:     *rate,
+		Duration: int64(*duration),
+		Mix:      mix,
+		Seed:     *seed,
+		ValLen:   *valLen,
+		Label:    *label,
+	}
+	if *planOnly {
+		return writeJSON(store.BuildPlan(cfg))
+	}
+
+	target := *addr
+	var svc *store.LocalService
+	var checker *trace.Checker
+	var rec *trace.Recorder
+	if *local > 0 {
+		prof, err := machine.ByName(*profName)
+		if err != nil {
+			return err
+		}
+		if *check {
+			rec = trace.New()
+			rec.SetCapacity(1 << 20)
+			checker = trace.NewChecker(nil)
+			checker.Attach(rec)
+		}
+		svc, err = store.StartLocal(prof, *local, store.Options{}, rec, netfab.Options{})
+		if err != nil {
+			return err
+		}
+		target = svc.Addr()
+	} else if target == "" {
+		return fmt.Errorf("need -addr or -local")
+	}
+
+	cl, err := store.Dial(target, *timeout)
+	if err != nil {
+		return err
+	}
+	var result any
+	if *sweepSpec != "" {
+		var rates []float64
+		for _, p := range strings.Split(*sweepSpec, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("bad sweep rate %q", p)
+			}
+			rates = append(rates, r)
+		}
+		points, err := store.Sweep(cl, cfg, rates)
+		if err != nil {
+			return err
+		}
+		result = points
+	} else {
+		rep, err := store.Run(cl, store.BuildPlan(cfg))
+		if err != nil {
+			return err
+		}
+		result = rep
+	}
+	cl.Close()
+	if svc != nil {
+		if err := svc.Stop(); err != nil {
+			return err
+		}
+	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace ok: %d events, invariants hold\n", rec.Len())
+	}
+	return writeJSON(result)
+}

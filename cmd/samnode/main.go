@@ -65,6 +65,11 @@ var (
 	listen      = flag.String("listen", "", "listen address (rank 0 should pick a port peers can name)")
 	profName    = flag.String("profile", "cm5", "machine profile for cost accounting")
 	bootTimeout = flag.Duration("boot-timeout", 30*time.Second, "bootstrap and dial timeout")
+	linkRetry   = flag.Duration("link-retry", 0, "data-link outage budget before the fabric fails (0 = netfab default)")
+	writeTO     = flag.Duration("write-timeout", 0, "per-flush write deadline on data and ack frames (0 = netfab default)")
+	drainQuiet  = flag.Duration("drain-quiet", 0, "end-of-run link-quiet window (0 = netfab default)")
+	dialBackoff = flag.Duration("dial-backoff", 0, "initial dial-retry delay (0 = netfab default)")
+	dialBackMax = flag.Duration("dial-backoff-max", 0, "cap on the exponential dial-retry delay (0 = netfab default)")
 	tracePrefix = flag.String("trace", "", "dump transport trace to PREFIX-rank<K>.jsonl")
 	checkTrace  = flag.String("check-trace", "", "replay comma-separated trace dumps through the checkers and exit")
 	faultSpec   = flag.String("fault", "", "fault schedule, e.g. 'delay:0>1@20+2ms,reset:0>1@100,crash:2@500'")
@@ -93,6 +98,19 @@ func run() error {
 	return joinAndRun()
 }
 
+// fabricOptions folds the timeout flags into netfab.Options; zero flag
+// values leave the library defaults in force.
+func fabricOptions() netfab.Options {
+	return netfab.Options{
+		Boot:           *bootTimeout,
+		LinkRetry:      *linkRetry,
+		Write:          *writeTO,
+		DrainQuiet:     *drainQuiet,
+		DialBackoff:    *dialBackoff,
+		DialBackoffMax: *dialBackMax,
+	}
+}
+
 // joinAndRun joins the cluster as one rank and runs the application.
 func joinAndRun() error {
 	prof, err := machine.ByName(*profName)
@@ -104,7 +122,7 @@ func joinAndRun() error {
 		Rendezvous: *rendezvous,
 		Listen:     *listen,
 		Profile:    prof,
-		Opts:       netfab.Options{Boot: *bootTimeout},
+		Opts:       fabricOptions(),
 	})
 	if err != nil {
 		return err
@@ -271,6 +289,11 @@ func spawnCluster() error {
 		"-n", fmt.Sprint(*nNodes),
 		"-profile", *profName,
 		"-boot-timeout", bootTimeout.String(),
+		"-link-retry", linkRetry.String(),
+		"-write-timeout", writeTO.String(),
+		"-drain-quiet", drainQuiet.String(),
+		"-dial-backoff", dialBackoff.String(),
+		"-dial-backoff-max", dialBackMax.String(),
 		"-grid", fmt.Sprint(*gridDim),
 		"-block", fmt.Sprint(*blockSize),
 		// Bool flags must use the -flag=value form: a separate value

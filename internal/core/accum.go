@@ -68,7 +68,7 @@ func (c *Ctx) updateAccum(name Name) *entry {
 	}
 	rt.ev(trace.EvAccRequest, name, name.home(rt.n), 0, 0)
 	ev := c.fc.NewEvent()
-	rt.acqWait[name] = ev
+	rt.acqWait[name] = &acqWaiter{ev: ev}
 	rt.send(c.fc, name.home(rt.n), smallMsgSize, msgAccAcq{name: name, from: rt.node})
 	c.rt.wait(c.fc, ev, stats.Stall)
 	e := rt.cache.lookup(name)
@@ -378,15 +378,25 @@ func (rt *nodeRT) handleAccData(fc fabric.Ctx, m msgAccData) {
 	// requests: serving parks this context, and a successor notification
 	// arriving meanwhile must not hand the data away from under the
 	// waiting application call.
-	ev := rt.acqWait[m.name]
-	if ev != nil {
+	w := rt.acqWait[m.name]
+	if w != nil {
 		delete(rt.acqWait, m.name)
 		e.reserved = true
 	}
 	rt.cache.reindex(e)
 	rt.serveQueuedChaotic(fc, e)
-	if ev != nil {
-		ev.Signal()
+	if w != nil {
+		if w.ev != nil {
+			w.ev.Signal()
+			return
+		}
+		// Asynchronous acquirer: grant exclusivity here, in handler
+		// context, exactly as updateAccum would on wake. The callback owns
+		// the borrow and must end it with EndUpdateAccum.
+		e.reserved = false
+		e.busy = true
+		rt.ev(trace.EvAccAcquire, m.name, -1, int64(e.size), 0)
+		w.cb(e.item)
 		return
 	}
 	if e.hasNext {

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+
+	"samsys/internal/fabric"
+	"samsys/internal/stats"
+)
+
+// External-request entry point: a way for code that is NOT a rank of the
+// world — a network server goroutine, a timer, an admin thread — to have a
+// closure executed on a rank's application process, interleaved with that
+// rank's own application work. This is what turns a batch SAM world into a
+// long-lived service (cmd/samstore): client connections decode requests on
+// their own goroutines and Submit them; each request then runs as a short
+// SAM operation on the rank's app goroutine, where the full Ctx API is
+// available and the usual single-threaded runtime discipline holds.
+//
+// Submit is safe from any goroutine. Everything else about the queue is
+// consumed only by the rank's own application process via NextExternal /
+// PollExternal / ServeExternal.
+//
+// The mechanism relies on fabric.Event.Signal being safe from outside the
+// node's execution context, which holds for the real-time fabrics (gofab,
+// netfab: a sync.Once channel close) but not for the deterministic
+// simulation fabric — serving external work is a real-time-fabrics-only
+// mode, like the service it exists for.
+
+// extQueue is one rank's queue of externally submitted operations.
+type extQueue struct {
+	mu     sync.Mutex
+	ops    []func(*Ctx)
+	ev     fabric.Event // armed by a waiting NextExternal, nil otherwise
+	closed bool
+}
+
+// Submit enqueues fn for execution on node's application process and wakes
+// it if it is waiting in NextExternal. It reports false — and drops fn —
+// once the world's external queues have been closed by CloseExternal;
+// callers treat that as "service shutting down". Safe from any goroutine.
+func (w *World) Submit(node int, fn func(*Ctx)) bool {
+	q := w.ext[node]
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.ops = append(q.ops, fn)
+	if q.ev != nil {
+		q.ev.Signal()
+		q.ev = nil
+	}
+	q.mu.Unlock()
+	return true
+}
+
+// CloseExternal closes every rank's external queue: pending operations
+// still drain, further Submits are refused, and every NextExternal returns
+// nil once its queue is empty. This is the service-shutdown signal; safe
+// from any goroutine.
+func (w *World) CloseExternal() {
+	for _, q := range w.ext {
+		q.mu.Lock()
+		q.closed = true
+		if q.ev != nil {
+			q.ev.Signal()
+			q.ev = nil
+		}
+		q.mu.Unlock()
+	}
+}
+
+// PollExternal returns the next externally submitted operation for this
+// rank without blocking, or nil if none is queued. It lets an application
+// interleave serving with its own work.
+func (c *Ctx) PollExternal() func(*Ctx) {
+	q := c.w.ext[c.rt.node]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.ops) == 0 {
+		return nil
+	}
+	fn := q.ops[0]
+	q.ops = q.ops[1:]
+	return fn
+}
+
+// NextExternal returns the next externally submitted operation, blocking —
+// with the wait accounted as idle time, and incoming protocol messages
+// served throughout — until one arrives. It returns nil once the queue has
+// been closed and drained, which is the rank's signal to leave its serve
+// loop and run down the world.
+func (c *Ctx) NextExternal() func(*Ctx) {
+	q := c.w.ext[c.rt.node]
+	for {
+		q.mu.Lock()
+		if len(q.ops) > 0 {
+			fn := q.ops[0]
+			q.ops = q.ops[1:]
+			q.mu.Unlock()
+			return fn
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil
+		}
+		ev := c.fc.NewEvent()
+		q.ev = ev
+		q.mu.Unlock()
+		c.rt.wait(c.fc, ev, stats.Idle)
+	}
+}
+
+// ServeExternal runs every submitted operation until CloseExternal; the
+// whole-app body of a pure server rank.
+func (c *Ctx) ServeExternal() {
+	for {
+		fn := c.NextExternal()
+		if fn == nil {
+			return
+		}
+		fn(c)
+	}
+}

@@ -147,7 +147,7 @@ func (c *Ctx) BeginRenameValue(old, new Name, uses int64) Item {
 	}
 	rt.ev(trace.EvRenameBegin, old, -1, int64(e.size), 0)
 	ev := c.fc.NewEvent()
-	rt.renameWait[old] = ev
+	rt.renameWait[old] = &renameWaiter{ev: ev}
 	rt.send(c.fc, old.home(rt.n), smallMsgSize, msgRenameReq{name: old, from: rt.node})
 	c.rt.wait(c.fc, ev, stats.Stall)
 	// All uses have drained; recycle the storage under the new name.
@@ -423,14 +423,31 @@ func (rt *nodeRT) handleRenameReq(fc fabric.Ctx, m msgRenameReq) {
 	e.renameWaiter = m.from
 }
 
-// handleRenameOK (owner): the old storage is free for reuse.
+// handleRenameOK (owner): the old storage is free for reuse. A blocking
+// renamer (BeginRenameValue) is woken to recycle the storage itself; an
+// asynchronous renamer (RenameValueAsync) has the recycle done here, in
+// handler context, and receives the new storage through its callback.
 func (rt *nodeRT) handleRenameOK(fc fabric.Ctx, m msgRenameOK) {
-	ev := rt.renameWait[m.name]
-	if ev == nil {
+	w := rt.renameWait[m.name]
+	if w == nil {
 		rt.protoErr("unexpected rename grant for %v", m.name)
 	}
 	delete(rt.renameWait, m.name)
-	ev.Signal()
+	if w.ev != nil {
+		w.ev.Signal()
+		return
+	}
+	e := rt.cache.lookup(m.name)
+	if e == nil || !e.owner {
+		rt.protoErr("rename grant for %v but the storage is gone", m.name)
+	}
+	rt.cache.remove(e)
+	ne := &entry{
+		name: w.newName, kind: kindValue, item: e.item, size: e.size,
+		owner: true, creating: true, declaredUses: w.uses,
+	}
+	rt.cache.insert(ne)
+	w.cb(ne.item)
 }
 
 // handleDestroy (home): reclaim every copy including the owner's.

@@ -15,6 +15,7 @@ type World struct {
 	fab   fabric.Fabric
 	opts  Options
 	nodes []*nodeRT
+	ext   []*extQueue // per-rank externally submitted operations
 }
 
 // NewWorld creates the SAM runtime on the given fabric. It installs the
@@ -26,8 +27,10 @@ func NewWorld(fab fabric.Fabric, opts Options) *World {
 		tr.Emit(trace.Event{Node: 0, Kind: trace.EvWorldStart, Peer: -1, Aux: int64(n)})
 	}
 	w.nodes = make([]*nodeRT, n)
+	w.ext = make([]*extQueue, n)
 	for i := 0; i < n; i++ {
 		w.nodes[i] = newNodeRT(w, i, n)
+		w.ext[i] = &extQueue{}
 	}
 	fab.SetHandler(w.handle)
 	return w
@@ -78,15 +81,15 @@ type nodeRT struct {
 	fetching map[Name]bool        // outstanding value fetch
 
 	// Accumulator machinery.
-	acqWait         map[Name]fabric.Event // app waiting for exclusive access
-	nextAfter       map[Name]int          // successor named before data arrived
-	chaoticWait     map[Name][]valWaiter  // app waiting for a snapshot
+	acqWait         map[Name]*acqWaiter  // party waiting for exclusive access
+	nextAfter       map[Name]int         // successor named before data arrived
+	chaoticWait     map[Name][]valWaiter // app waiting for a snapshot
 	chaoticFetching map[Name]bool
 	pendingChaotic  map[Name][]int // remote chaotic requests queued here
 	forwardedTo     map[Name]int   // migration tombstones for routing
 
 	// Rename machinery.
-	renameWait map[Name]fabric.Event
+	renameWait map[Name]*renameWaiter
 
 	// Barrier machinery.
 	barEpoch   int64
@@ -110,13 +113,13 @@ func newNodeRT(w *World, node, n int) *nodeRT {
 		cache:           newCache(w.opts.cacheBytes()),
 		valWait:         make(map[Name][]valWaiter),
 		fetching:        make(map[Name]bool),
-		acqWait:         make(map[Name]fabric.Event),
+		acqWait:         make(map[Name]*acqWaiter),
 		nextAfter:       make(map[Name]int),
 		chaoticWait:     make(map[Name][]valWaiter),
 		chaoticFetching: make(map[Name]bool),
 		pendingChaotic:  make(map[Name][]int),
 		forwardedTo:     make(map[Name]int),
-		renameWait:      make(map[Name]fabric.Event),
+		renameWait:      make(map[Name]*renameWaiter),
 	}
 	// Until the app first calls NextTask it may still spawn seed tasks,
 	// so it counts as busy for termination detection.

@@ -209,7 +209,7 @@ func (f *Fab) maybeAllDoneLocked() {
 // bootstrapJoin runs a non-zero rank's side: dial the rendezvous node with
 // retry, register, receive the address map, ack, wait for the release.
 func (f *Fab) bootstrapJoin(rendezvous string, deadline time.Time) error {
-	conn, err := dialRetry(rendezvous, deadline)
+	conn, err := dialRetry(rendezvous, deadline, f.opts.DialBackoff, f.opts.DialBackoffMax)
 	if err != nil {
 		return fmt.Errorf("netfab: rendezvous %s: %w", rendezvous, err)
 	}

@@ -1,0 +1,234 @@
+package netfab
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samsys/internal/wire"
+)
+
+// External client connections. A netfab rank's listener accepts, besides
+// rank data links and bootstrap control connections, a third connection
+// role: an external client that is not a member of the cluster. The
+// client's first frame is frClient carrying its wire-registry hash; the
+// rank verifies the hash (client and cluster must agree on every type id,
+// just as ranks do at bootstrap) and replies with a welcome frame naming
+// its rank, the cluster size and every rank's listener address — enough
+// for the client to reach any rank directly. Every subsequent frame in
+// either direction is one wire-encoded value (wire.Marshal form, no kind
+// byte; the connection is already classified).
+//
+// What those values mean is not netfab's business: a rank hands accepted
+// client connections to the handler installed with SetClientHandler
+// (internal/store registers its request executor there), and clients dial
+// with DialClient. Client connections carry no per-link sequencing or
+// resend window — they are request/response conversations whose loss
+// semantics belong to the layer above, unlike rank links whose exactly-
+// once delivery the SAM protocol depends on.
+
+// ClientHandler serves one accepted external client connection. It runs
+// on the connection's own goroutine — never on the rank's application
+// goroutine — and returns when the conversation is over; the connection
+// is closed after it returns.
+type ClientHandler func(*ClientConn)
+
+// ClientConn is one framed external connection, either side. ReadMsg is
+// single-consumer; WriteMsg is safe for concurrent use.
+type ClientConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	writeTO time.Duration
+	rank, n int
+	addrs   []string
+
+	closed atomic.Bool
+}
+
+// Rank returns the rank this connection talks to.
+func (cc *ClientConn) Rank() int { return cc.rank }
+
+// N returns the cluster size the rank reported.
+func (cc *ClientConn) N() int { return cc.n }
+
+// Addrs returns every rank's listener address (client side; nil on the
+// serving side).
+func (cc *ClientConn) Addrs() []string { return cc.addrs }
+
+// RemoteAddr returns the peer's network address.
+func (cc *ClientConn) RemoteAddr() net.Addr { return cc.conn.RemoteAddr() }
+
+// ReadMsg reads one wire-encoded value and reports its encoded size in
+// bytes (for accounting above this layer).
+func (cc *ClientConn) ReadMsg() (any, int, error) {
+	body, err := readFrame(cc.br)
+	if err != nil {
+		return nil, 0, err
+	}
+	v, err := wire.Unmarshal(body)
+	if err != nil {
+		return nil, len(body), fmt.Errorf("netfab: client frame: %w", err)
+	}
+	return v, len(body), nil
+}
+
+// WriteMsg writes one wire-encoded value as a single flushed frame. The
+// value's type must be wire-registered.
+func (cc *ClientConn) WriteMsg(v any) error {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.Any(v)
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.conn.SetWriteDeadline(time.Now().Add(cc.writeTO))
+	if err := writeFrame(cc.bw, e.Bytes()); err != nil {
+		return err
+	}
+	return cc.bw.Flush()
+}
+
+// WriteRaw writes one pre-encoded value (wire.Marshal form) as a single
+// flushed frame; it lets a caller that already paid for the encoding (for
+// accounting, say) avoid a second pass.
+func (cc *ClientConn) WriteRaw(body []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.conn.SetWriteDeadline(time.Now().Add(cc.writeTO))
+	if err := writeFrame(cc.bw, body); err != nil {
+		return err
+	}
+	return cc.bw.Flush()
+}
+
+// Close closes the connection; idempotent, and safe concurrently with
+// blocked reads and writes (they return errors).
+func (cc *ClientConn) Close() error {
+	if cc.closed.Swap(true) {
+		return nil
+	}
+	return cc.conn.Close()
+}
+
+// SetClientHandler installs the serving callback for external client
+// connections. Install it before clients dial; a rank with no handler
+// refuses client connections. Safe from any goroutine.
+func (f *Fab) SetClientHandler(h ClientHandler) {
+	f.clientMu.Lock()
+	f.clientHandler = h
+	f.clientMu.Unlock()
+}
+
+// Addr returns this rank's listener address, which serves rank links and
+// client connections alike.
+func (f *Fab) Addr() string { return f.ln.Addr().String() }
+
+// serveClient finishes the handshake for an accepted frClient connection
+// and runs the installed handler on this goroutine. Handshake failures
+// drop the connection; an external client can never be fatal to the rank.
+func (f *Fab) serveClient(conn net.Conn, br *bufio.Reader, d *wire.Decoder) {
+	hash := d.Uvarint()
+	if d.Err() != nil || hash != wire.Hash() {
+		conn.Close()
+		return
+	}
+	f.clientMu.Lock()
+	h := f.clientHandler
+	f.clientMu.Unlock()
+	if h == nil {
+		conn.Close()
+		return
+	}
+	e := wire.GetEncoder()
+	e.Uint8(frClient)
+	e.Int(f.rank)
+	e.Int(f.n)
+	e.Int(len(f.addrs))
+	for _, a := range f.addrs {
+		e.String(a)
+	}
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	conn.SetWriteDeadline(time.Now().Add(f.opts.Write))
+	err := writeFrame(bw, e.Bytes())
+	if err == nil {
+		err = bw.Flush()
+	}
+	conn.SetWriteDeadline(time.Time{})
+	wire.PutEncoder(e)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	cc := &ClientConn{conn: conn, br: br, bw: bw, writeTO: f.opts.Write, rank: f.rank, n: f.n}
+	defer cc.Close()
+	h(cc)
+}
+
+// DialClient connects to a rank's listener as an external client and runs
+// the hash-verifying handshake. The returned connection reports the
+// rank's id, the cluster size and every rank's address.
+func DialClient(addr string, timeout time.Duration) (*ClientConn, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netfab: client dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	e := wire.GetEncoder()
+	e.Uint8(frClient)
+	e.Uvarint(wire.Hash())
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	err = writeFrame(bw, e.Bytes())
+	if err == nil {
+		err = bw.Flush()
+	}
+	wire.PutEncoder(e)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netfab: client hello to %s: %w", addr, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	br := bufio.NewReaderSize(conn, 32<<10)
+	body, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netfab: client welcome from %s: %w (registry mismatch?)", addr, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	conn.SetWriteDeadline(time.Time{})
+	d := wire.NewDecoder(body)
+	if kind := d.Uint8(); kind != frClient {
+		conn.Close()
+		return nil, fmt.Errorf("netfab: unexpected welcome frame kind %d from %s", kind, addr)
+	}
+	rank := d.Int()
+	n := d.Int()
+	na := d.Int()
+	if d.Err() != nil || n < 1 || na != n || rank < 0 || rank >= n {
+		conn.Close()
+		return nil, fmt.Errorf("netfab: bad client welcome from %s", addr)
+	}
+	addrs := make([]string, na)
+	for i := range addrs {
+		addrs[i] = d.String()
+	}
+	if d.Err() != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netfab: bad client welcome from %s: %v", addr, d.Err())
+	}
+	return &ClientConn{
+		conn: conn, br: br, bw: bw, writeTO: 10 * time.Second,
+		rank: rank, n: n, addrs: addrs,
+	}, nil
+}

@@ -1,0 +1,93 @@
+package netfab_test
+
+import (
+	"testing"
+	"time"
+
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/netfab"
+	"samsys/internal/machine"
+	"samsys/internal/pack"
+)
+
+// TestClientConn exercises the client-connection layer by itself: the
+// hash-checked handshake, the welcome's cluster map, and framed message
+// exchange against a handler, all independent of any SAM world.
+func TestClientConn(t *testing.T) {
+	cl, err := netfab.NewLocal(machine.CM5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetHandler(func(fabric.Ctx, fabric.Message) {})
+	cl.Fab(0).SetClientHandler(func(cc *netfab.ClientConn) {
+		for {
+			v, _, err := cc.ReadMsg()
+			if err != nil {
+				return
+			}
+			if err := cc.WriteMsg(v); err != nil {
+				return
+			}
+		}
+	})
+
+	// Keep the ranks alive while the client talks; the handler runs on
+	// the connection's goroutine, not the application's.
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.Run(func(c fabric.Ctx) {
+			if c.Node() == 0 {
+				<-release
+			}
+		})
+	}()
+
+	cc, err := netfab.DialClient(cl.Fab(0).Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if cc.Rank() != 0 || cc.N() != 2 {
+		t.Fatalf("welcome says rank %d of %d, want 0 of 2", cc.Rank(), cc.N())
+	}
+	addrs := cc.Addrs()
+	if len(addrs) != 2 || addrs[0] != cl.Fab(0).Addr() || addrs[1] != cl.Fab(1).Addr() {
+		t.Fatalf("welcome address map %v, want the rank listeners", addrs)
+	}
+
+	// Echo round trips through the registry-framed codec.
+	if err := cc.WriteMsg(pack.Float64s{1.5, -2, 3e9}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, _, err := cc.ReadMsg()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	f, ok := v.(pack.Float64s)
+	if !ok || len(f) != 3 || f[0] != 1.5 || f[1] != -2 || f[2] != 3e9 {
+		t.Fatalf("echo = %#v, want the floats back", v)
+	}
+	if err := cc.WriteMsg(pack.Ints{7, -7}); err != nil {
+		t.Fatalf("write ints: %v", err)
+	}
+	if v, _, err = cc.ReadMsg(); err != nil {
+		t.Fatalf("read ints: %v", err)
+	}
+	if iv, ok := v.(pack.Ints); !ok || len(iv) != 2 || iv[0] != 7 {
+		t.Fatalf("echo = %#v, want the ints back", v)
+	}
+
+	// Rank 1 has no client handler: its listener quietly closes client
+	// connections before any welcome, so the dial fails without
+	// disturbing the rank.
+	if cc2, err := netfab.DialClient(cl.Fab(1).Addr(), 5*time.Second); err == nil {
+		cc2.Close()
+		t.Fatal("dial to a handlerless rank succeeded")
+	}
+
+	cc.Close()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+}

@@ -33,6 +33,7 @@ const (
 	frData                // one fabric message: modeled size, per-link seq, payload
 	frAck                 // acceptor -> dialer: cumulative accepted per-link seq
 	frAbort               // control plane, both directions: origin rank, reason
+	frClient              // external client -> any rank: registry hash (see client.go)
 )
 
 // maxFrame bounds a frame body; data items are at most a few hundred MB in
@@ -92,12 +93,12 @@ func readUvarint(r *bufio.Reader) (uint64, error) {
 }
 
 // dialRetry dials addr until it succeeds or the deadline passes, backing
-// off exponentially from 5ms to 300ms between attempts. Peers of a cluster
-// start in arbitrary order, so early dials routinely hit "connection
-// refused" — retry is part of the bootstrap contract, not error handling.
-// The same loop is the reconnect path after a data-link failure.
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
-	backoff := 5 * time.Millisecond
+// off exponentially from backoff to backoffMax between attempts (the
+// Options.DialBackoff bounds). Peers of a cluster start in arbitrary
+// order, so early dials routinely hit "connection refused" — retry is part
+// of the bootstrap contract, not error handling. The same loop is the
+// reconnect path after a data-link failure.
+func dialRetry(addr string, deadline time.Time, backoff, backoffMax time.Duration) (net.Conn, error) {
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
@@ -111,8 +112,8 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 		}
 		time.Sleep(backoff)
 		backoff *= 2
-		if backoff > 300*time.Millisecond {
-			backoff = 300 * time.Millisecond
+		if backoff > backoffMax {
+			backoff = backoffMax
 		}
 	}
 }
@@ -205,7 +206,8 @@ func (f *Fab) sendHello(conn net.Conn, resume bool) error {
 // newPeer dials dst's listener, sends the link hello and starts the
 // batching writer and the ack reader.
 func (f *Fab) newPeer(dst int) (*peer, error) {
-	conn, err := dialRetry(f.addrs[dst], time.Now().Add(f.opts.Boot))
+	conn, err := dialRetry(f.addrs[dst], time.Now().Add(f.opts.Boot),
+		f.opts.DialBackoff, f.opts.DialBackoffMax)
 	if err != nil {
 		return nil, fmt.Errorf("link %d->%d: %w", f.rank, dst, err)
 	}
@@ -383,7 +385,8 @@ func (f *Fab) redial(p *peer, unacked *[]outFrame) (net.Conn, *bufio.Writer) {
 		if f.closing.Load() {
 			return nil, nil
 		}
-		conn, err := dialRetry(f.addrs[p.dst], deadline)
+		conn, err := dialRetry(f.addrs[p.dst], deadline,
+			f.opts.DialBackoff, f.opts.DialBackoffMax)
 		if err != nil {
 			f.fatalf("link %d->%d: reconnect: %v", f.rank, p.dst, err)
 			return nil, nil
@@ -463,13 +466,15 @@ func (f *Fab) acceptLoop() {
 }
 
 // serveConn classifies a new connection by its first frame and serves it.
+// A connection that dies or talks garbage before classifying itself is
+// dropped, not fatal: a long-lived service rank accepts from the open
+// network, and a half-open probe or a client that gave up mid-dial must
+// not take the cluster down. Failures after classification — on rank and
+// control links, whose peers are known cluster members — stay fatal.
 func (f *Fab) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	body, err := readFrame(br)
 	if err != nil {
-		if !f.closing.Load() {
-			f.fatalf("handshake read: %v", err)
-		}
 		conn.Close()
 		return
 	}
@@ -500,8 +505,9 @@ func (f *Fab) serveConn(conn net.Conn) {
 			return
 		}
 		f.readLoop(conn, br, src, resume)
+	case frClient:
+		f.serveClient(conn, br, d)
 	default:
-		f.fatalf("unexpected first frame kind %d from %s", kind, conn.RemoteAddr())
 		conn.Close()
 	}
 }

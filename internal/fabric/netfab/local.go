@@ -81,6 +81,10 @@ func (cl *Cluster) N() int { return cl.fabs[0].n }
 // Profile returns the machine profile used for accounting.
 func (cl *Cluster) Profile() machine.Profile { return cl.fabs[0].prof }
 
+// Fab returns one rank's fabric — for per-rank surfaces like
+// SetClientHandler and Addr that have no cluster-wide form.
+func (cl *Cluster) Fab(rank int) *Fab { return cl.fabs[rank] }
+
 // SetHandler installs the message handler on every node.
 func (cl *Cluster) SetHandler(h fabric.Handler) {
 	for _, f := range cl.fabs {

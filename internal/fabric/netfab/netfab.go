@@ -111,6 +111,9 @@ type Fab struct {
 	ran      bool
 
 	tr *trace.Recorder
+
+	clientMu      sync.Mutex // guards clientHandler (see client.go)
+	clientHandler ClientHandler
 }
 
 // Join opens this node's listener and runs the bootstrap protocol. It

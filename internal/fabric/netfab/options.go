@@ -38,6 +38,16 @@ type Options struct {
 	// AckEvery is how many accepted frames a receiver batches into one
 	// cumulative ack (default 64). Must be well under AckWindow.
 	AckEvery int
+
+	// DialBackoff is the first retry delay when a dial fails — during
+	// bootstrap, lazy link establishment and link repair alike (default
+	// 5ms). Successive retries double up to DialBackoffMax.
+	DialBackoff time.Duration
+
+	// DialBackoffMax caps the exponential dial-retry delay (default
+	// 300ms). Service deployments that restart ranks under load may want
+	// this higher to avoid hammering a recovering peer.
+	DialBackoffMax time.Duration
 }
 
 // Option adjusts one Options field; pass to NewLocal (or apply to an
@@ -74,6 +84,16 @@ func WithAckEvery(frames int) Option {
 	return func(o *Options) { o.AckEvery = frames }
 }
 
+// WithDialBackoff sets the initial dial-retry delay.
+func WithDialBackoff(d time.Duration) Option {
+	return func(o *Options) { o.DialBackoff = d }
+}
+
+// WithDialBackoffMax caps the exponential dial-retry delay.
+func WithDialBackoffMax(d time.Duration) Option {
+	return func(o *Options) { o.DialBackoffMax = d }
+}
+
 // Apply folds the options into o and returns the result; useful when a
 // Config is built by hand for Join.
 func (o Options) Apply(opts ...Option) Options {
@@ -101,6 +121,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AckEvery == 0 {
 		o.AckEvery = 64
+	}
+	if o.DialBackoff == 0 {
+		o.DialBackoff = 5 * time.Millisecond
+	}
+	if o.DialBackoffMax == 0 {
+		o.DialBackoffMax = 300 * time.Millisecond
 	}
 	return o
 }

@@ -1,0 +1,48 @@
+package stats
+
+// TenantCounters accumulates one tenant's activity against the shared
+// object service (internal/store). The store's per-rank serving loop owns
+// each instance single-threadedly; cross-rank aggregation merges snapshots
+// with Add. LiveBytes and Sessions are gauges (they go down as well as
+// up); everything else is a monotone count.
+type TenantCounters struct {
+	Opens    int64 // sessions opened (first attach)
+	Attaches int64 // additional connections attached to a live session
+	Closes   int64 // sessions closed (explicit or idle timeout)
+	Creates  int64 // objects created (values and accumulators)
+	Uses     int64 // value reads served
+	Updates  int64 // one-shot accumulator updates applied
+	Acquires int64 // two-phase accumulator grants issued
+	Commits  int64 // two-phase grants committed
+	Chaotic  int64 // chaotic reads served
+	Renames  int64 // storage recycles
+	Lists    int64 // directory listings
+	Rejected int64 // requests refused (quota, validation, unknown name)
+
+	BytesIn  int64 // request payload bytes received
+	BytesOut int64 // response payload bytes sent
+
+	LiveBytes int64 // bytes of object storage currently charged (gauge)
+	Sessions  int64 // sessions currently open (gauge)
+}
+
+// Add folds o into t field by field; gauges sum like counts, which is
+// correct when merging disjoint per-rank snapshots.
+func (t *TenantCounters) Add(o *TenantCounters) {
+	t.Opens += o.Opens
+	t.Attaches += o.Attaches
+	t.Closes += o.Closes
+	t.Creates += o.Creates
+	t.Uses += o.Uses
+	t.Updates += o.Updates
+	t.Acquires += o.Acquires
+	t.Commits += o.Commits
+	t.Chaotic += o.Chaotic
+	t.Renames += o.Renames
+	t.Lists += o.Lists
+	t.Rejected += o.Rejected
+	t.BytesIn += o.BytesIn
+	t.BytesOut += o.BytesOut
+	t.LiveBytes += o.LiveBytes
+	t.Sessions += o.Sessions
+}

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samsys/internal/fabric/netfab"
+)
+
+// Client is the store's client library. One Client multiplexes any number
+// of sessions over at most one TCP connection per rank: requests carry
+// client-chosen IDs, a reader goroutine per connection dispatches
+// responses by ID, and sessions route themselves to their home rank with
+// the same HomeRank the server validates with. Safe for concurrent use.
+type Client struct {
+	timeout time.Duration
+	n       int
+	addrs   []string
+
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	conns map[int]*cliConn
+	dead  bool
+}
+
+// cliConn is the client's connection to one rank.
+type cliConn struct {
+	cc *netfab.ClientConn
+
+	mu   sync.Mutex
+	pend map[int64]chan Resp
+	err  error
+}
+
+// Dial connects to any rank of a serving cluster and learns the full
+// address map from the welcome; connections to other ranks open lazily.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	cc, err := netfab.DialClient(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		timeout: timeout,
+		n:       cc.N(),
+		addrs:   cc.Addrs(),
+		conns:   make(map[int]*cliConn),
+	}
+	cl.adopt(cc.Rank(), cc)
+	return cl, nil
+}
+
+// N returns the cluster size.
+func (cl *Client) N() int { return cl.n }
+
+func (cl *Client) adopt(rank int, cc *netfab.ClientConn) *cliConn {
+	c := &cliConn{cc: cc, pend: make(map[int64]chan Resp)}
+	cl.mu.Lock()
+	cl.conns[rank] = c
+	cl.mu.Unlock()
+	go c.readLoop()
+	return c
+}
+
+func (c *cliConn) readLoop() {
+	for {
+		msg, _, err := c.cc.ReadMsg()
+		if err != nil {
+			c.fail(fmt.Errorf("store: connection lost: %w", err))
+			return
+		}
+		resp, ok := msg.(Resp)
+		if !ok {
+			c.fail(errors.New("store: non-response frame from server"))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pend[resp.ID]
+		delete(c.pend, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail poisons the connection: every waiter gets an error response and
+// future requests are refused until a redial replaces the connection.
+func (c *cliConn) fail(err error) {
+	c.cc.Close()
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pend := c.pend
+	c.pend = make(map[int64]chan Resp)
+	c.mu.Unlock()
+	for id, ch := range pend {
+		ch <- Resp{ID: id, Err: err.Error(), Rej: RejState}
+	}
+}
+
+// conn returns the connection to rank, dialing it if needed.
+func (cl *Client) conn(rank int) (*cliConn, error) {
+	if rank < 0 || rank >= cl.n {
+		return nil, fmt.Errorf("store: rank %d outside [0,%d)", rank, cl.n)
+	}
+	cl.mu.Lock()
+	if cl.dead {
+		cl.mu.Unlock()
+		return nil, errors.New("store: client closed")
+	}
+	c := cl.conns[rank]
+	cl.mu.Unlock()
+	if c != nil {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			return c, nil
+		}
+	}
+	cc, err := netfab.DialClient(cl.addrs[rank], cl.timeout)
+	if err != nil {
+		return nil, err
+	}
+	return cl.adopt(rank, cc), nil
+}
+
+// do executes one request against rank and waits for its response.
+func (cl *Client) do(rank int, req Req) (Resp, error) {
+	c, err := cl.conn(rank)
+	if err != nil {
+		return Resp{}, err
+	}
+	req.ID = cl.nextID.Add(1)
+	ch := make(chan Resp, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Resp{}, err
+	}
+	c.pend[req.ID] = ch
+	c.mu.Unlock()
+	if err := c.cc.WriteMsg(req); err != nil {
+		c.fail(err)
+		<-ch
+		return Resp{}, err
+	}
+	resp := <-ch
+	if !resp.OK {
+		return resp, fmt.Errorf("store: %s (reason %d)", resp.Err, resp.Rej)
+	}
+	return resp, nil
+}
+
+// Close shuts every connection down. Sessions left open age out on the
+// server after its idle timeout.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	cl.dead = true
+	conns := cl.conns
+	cl.conns = make(map[int]*cliConn)
+	cl.mu.Unlock()
+	for _, c := range conns {
+		c.fail(errors.New("store: client closed"))
+	}
+}
+
+// Abandon abruptly severs every TCP connection without closing sessions
+// or releasing grants — simulating a crashed client. The server's
+// disconnect path must clean up (this is what the satellite disconnect
+// test exercises).
+func (cl *Client) Abandon() { cl.Close() }
+
+// Stats fetches the per-tenant counter snapshot from one rank.
+func (cl *Client) Stats(rank int) ([]TenantStat, error) {
+	resp, err := cl.do(rank, Req{Op: OpStats, Tenant: "_stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tenants, nil
+}
+
+// Session is one open session; its methods name objects by (tag, x, y)
+// within the session's tenant.
+type Session struct {
+	cl           *Client
+	tenant, name string
+	rank         int
+}
+
+// Open opens (or attaches to) the named session on its home rank.
+func (cl *Client) Open(tenant, sess string) (*Session, error) {
+	rank := HomeRank(tenant, sess, cl.n)
+	if _, err := cl.do(rank, Req{Op: OpOpen, Tenant: tenant, Sess: sess}); err != nil {
+		return nil, err
+	}
+	return &Session{cl: cl, tenant: tenant, name: sess, rank: rank}, nil
+}
+
+func (s *Session) req(op uint8, tag uint8, x, y int32) Req {
+	return Req{Op: op, Tenant: s.tenant, Sess: s.name, Tag: tag, X: x, Y: y}
+}
+
+// Create creates a value (acc=false) with the given declared uses
+// (uses<=0 means unlimited), or an accumulator (acc=true).
+func (s *Session) Create(tag uint8, x, y int32, val []float64, uses int64, acc bool) error {
+	r := s.req(OpCreate, tag, x, y)
+	r.Val = val
+	r.Uses = uses
+	r.Acc = acc
+	_, err := s.cl.do(s.rank, r)
+	return err
+}
+
+// Use reads a value, consuming one declared use.
+func (s *Session) Use(tag uint8, x, y int32) ([]float64, error) {
+	resp, err := s.cl.do(s.rank, s.req(OpUse, tag, x, y))
+	return resp.Val, err
+}
+
+// Update applies an elementwise addition to an accumulator and returns
+// its post-update contents.
+func (s *Session) Update(tag uint8, x, y int32, delta []float64) ([]float64, error) {
+	r := s.req(OpUpdate, tag, x, y)
+	r.Val = delta
+	resp, err := s.cl.do(s.rank, r)
+	return resp.Val, err
+}
+
+// Acquire takes the two-phase exclusive grant on an accumulator and
+// returns its current contents; the accumulator is pinned to this client
+// until Commit (or disconnect, which commits unchanged).
+func (s *Session) Acquire(tag uint8, x, y int32) ([]float64, error) {
+	resp, err := s.cl.do(s.rank, s.req(OpAcquire, tag, x, y))
+	return resp.Val, err
+}
+
+// Commit overwrites the accumulator's contents and releases the grant.
+func (s *Session) Commit(tag uint8, x, y int32, val []float64) error {
+	r := s.req(OpCommit, tag, x, y)
+	r.Val = val
+	_, err := s.cl.do(s.rank, r)
+	return err
+}
+
+// ReadChaotic returns an unsynchronized recent snapshot of an accumulator.
+func (s *Session) ReadChaotic(tag uint8, x, y int32) ([]float64, error) {
+	resp, err := s.cl.do(s.rank, s.req(OpReadChaotic, tag, x, y))
+	return resp.Val, err
+}
+
+// Rename recycles a fully-consumed value's storage under a new name with
+// new contents and declared uses. It completes only after every declared
+// use of the old value has drained.
+func (s *Session) Rename(tag uint8, x, y int32, newTag uint8, newX, newY int32, val []float64, uses int64) error {
+	r := s.req(OpRename, tag, x, y)
+	r.NewTag, r.NewX, r.NewY = newTag, newX, newY
+	r.Val = val
+	r.Uses = uses
+	_, err := s.cl.do(s.rank, r)
+	return err
+}
+
+// List returns the session's objects in sorted name order.
+func (s *Session) List() ([]OName, error) {
+	resp, err := s.cl.do(s.rank, s.req(OpList, 0, 0, 0))
+	return resp.Names, err
+}
+
+// Close closes the session, destroying its objects. force drops it even
+// with other connections attached.
+func (s *Session) Close(force bool) error {
+	r := s.req(OpClose, 0, 0, 0)
+	r.ExplicitDrop = force
+	_, err := s.cl.do(s.rank, r)
+	return err
+}

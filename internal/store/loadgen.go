@@ -1,0 +1,344 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The load generator: an open-loop client workload against a serving
+// cluster. Open-loop means arrivals follow a schedule fixed in advance —
+// a Poisson process at the configured rate — and are fired at their
+// scheduled times whether or not earlier requests have completed, so a
+// saturated server shows up as growing latency rather than as a silently
+// reduced offered rate (the standard coordinated-omission trap in
+// closed-loop generators).
+//
+// The whole schedule derives from one seeded PRNG stream, so a (seed,
+// config) pair names one exact workload: byte-identical plans across
+// runs and machines, which is what makes latency comparisons and the CI
+// smoke job meaningful.
+
+// MixWeights are the relative frequencies of the op types in the load
+// mix; they need not sum to anything in particular.
+type MixWeights struct {
+	Use     int `json:"use"`
+	Update  int `json:"update"`
+	Create  int `json:"create"`
+	Chaotic int `json:"chaotic"`
+}
+
+func (m MixWeights) total() int { return m.Use + m.Update + m.Create + m.Chaotic }
+
+// Config fixes one workload.
+type Config struct {
+	Sessions int     `json:"sessions"` // concurrent sessions
+	Tenants  int     `json:"tenants"`  // tenants the sessions spread over
+	Rate     float64 `json:"rate"`     // aggregate offered ops/sec
+	Duration int64   `json:"duration_ns"`
+	Mix      MixWeights
+	Seed     int64 `json:"seed"`
+
+	ValLen           int `json:"val_len"`            // elements per object
+	ValsPerSession   int `json:"vals_per_session"`   // read-target values set up per session
+	AccumsPerSession int `json:"accums_per_session"` // update targets per session
+
+	// Label suffixes every tenant name, giving runs that share a cluster
+	// (sweep rungs, repeated CI invocations) disjoint object namespaces.
+	Label string `json:"label,omitempty"`
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Sessions == 0 {
+		cfg.Sessions = 16
+	}
+	if cfg.Tenants == 0 {
+		cfg.Tenants = 2
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 200
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = int64(2 * time.Second)
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = MixWeights{Use: 6, Update: 3, Create: 1, Chaotic: 2}
+	}
+	if cfg.ValLen == 0 {
+		cfg.ValLen = 16
+	}
+	if cfg.ValsPerSession == 0 {
+		cfg.ValsPerSession = 4
+	}
+	if cfg.AccumsPerSession == 0 {
+		cfg.AccumsPerSession = 2
+	}
+	return cfg
+}
+
+// Object-name tags used by generated sessions.
+const (
+	tagVal   = 1 // setup-phase values, X=session Y=index
+	tagAcc   = 2 // setup-phase accumulators, X=session Y=index
+	tagFresh = 3 // values created by in-mix create ops, X=session Y=counter
+)
+
+// PlannedOp is one scheduled request.
+type PlannedOp struct {
+	At   int64 `json:"at_ns"` // offset from run start
+	Sess int   `json:"sess"`
+	Op   uint8 `json:"op"` // OpUse, OpUpdate, OpCreate or OpReadChaotic
+	Tag  uint8 `json:"tag"`
+	X    int32 `json:"x"`
+	Y    int32 `json:"y"`
+}
+
+// Plan is a fully materialized workload: setup targets plus the timed op
+// schedule. Building it consumes the config's entire PRNG stream, so the
+// plan is a pure function of the config.
+type Plan struct {
+	Config Config      `json:"config"`
+	Ops    []PlannedOp `json:"ops"`
+}
+
+// SessionTenant maps a session index to its tenant id.
+func SessionTenant(cfg Config, sess int) string {
+	return fmt.Sprintf("t%d%s", sess%cfg.Tenants, cfg.Label)
+}
+
+// SessionName maps a session index to its session name.
+func SessionName(sess int) string { return fmt.Sprintf("s%d", sess) }
+
+// BuildPlan derives the deterministic op schedule from cfg.
+func BuildPlan(cfg Config) *Plan {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	plan := &Plan{Config: cfg}
+	total := cfg.Mix.total()
+	fresh := make([]int32, cfg.Sessions) // per-session create counters
+	var at float64                       // seconds
+	durS := float64(cfg.Duration) / float64(time.Second)
+	for {
+		at += r.ExpFloat64() / cfg.Rate
+		if at > durS {
+			break
+		}
+		sess := r.Intn(cfg.Sessions)
+		op := PlannedOp{At: int64(at * float64(time.Second)), Sess: sess}
+		switch pick := r.Intn(total); {
+		case pick < cfg.Mix.Use:
+			op.Op = OpUse
+			op.Tag, op.X, op.Y = tagVal, int32(sess), int32(r.Intn(cfg.ValsPerSession))
+		case pick < cfg.Mix.Use+cfg.Mix.Update:
+			op.Op = OpUpdate
+			op.Tag, op.X, op.Y = tagAcc, int32(sess), int32(r.Intn(cfg.AccumsPerSession))
+		case pick < cfg.Mix.Use+cfg.Mix.Update+cfg.Mix.Create:
+			op.Op = OpCreate
+			op.Tag, op.X, op.Y = tagFresh, int32(sess), fresh[sess]
+			fresh[sess]++
+		default:
+			op.Op = OpReadChaotic
+			op.Tag, op.X, op.Y = tagAcc, int32(sess), int32(r.Intn(cfg.AccumsPerSession))
+		}
+		plan.Ops = append(plan.Ops, op)
+	}
+	return plan
+}
+
+// OpReport is the measured latency distribution of one op type.
+type OpReport struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// Report is one run's outcome.
+type Report struct {
+	Config    Config              `json:"config"`
+	WallMs    float64             `json:"wall_ms"`
+	Offered   float64             `json:"offered_ops_per_sec"`
+	Achieved  float64             `json:"achieved_ops_per_sec"`
+	PerOp     map[string]OpReport `json:"per_op"`
+	AckedAdds int64               `json:"acked_adds"` // acknowledged OpUpdate count
+}
+
+// SweepPoint is one rung of a saturation sweep.
+type SweepPoint struct {
+	Rate   float64 `json:"rate"`
+	Report Report  `json:"report"`
+}
+
+func opName(op uint8) string {
+	switch op {
+	case OpUse:
+		return "use"
+	case OpUpdate:
+		return "update"
+	case OpCreate:
+		return "create"
+	case OpReadChaotic:
+		return "chaotic"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// collector accumulates latencies per op type under one lock; the load
+// generator's own contention is negligible next to a network round trip.
+type collector struct {
+	mu    sync.Mutex
+	lat   map[string][]float64 // milliseconds
+	errs  map[string]int64
+	acked int64
+}
+
+func (co *collector) record(op uint8, d time.Duration, err error) {
+	name := opName(op)
+	co.mu.Lock()
+	if err != nil {
+		co.errs[name]++
+	} else {
+		co.lat[name] = append(co.lat[name], float64(d)/float64(time.Millisecond))
+		if op == OpUpdate {
+			co.acked++
+		}
+	}
+	co.mu.Unlock()
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Run opens the plan's sessions against cl, performs the setup creates,
+// fires the schedule open-loop and waits for every response.
+func Run(cl *Client, plan *Plan) (*Report, error) {
+	cfg := plan.Config
+	sessions := make([]*Session, cfg.Sessions)
+	for i := range sessions {
+		s, err := cl.Open(SessionTenant(cfg, i), SessionName(i))
+		if err != nil {
+			return nil, fmt.Errorf("open session %d: %w", i, err)
+		}
+		sessions[i] = s
+	}
+	// Setup: the read targets and update targets every planned op assumes.
+	seed := make([]float64, cfg.ValLen)
+	for j := range seed {
+		seed[j] = float64(j)
+	}
+	zeros := make([]float64, cfg.ValLen)
+	for i, s := range sessions {
+		for j := 0; j < cfg.ValsPerSession; j++ {
+			if err := s.Create(tagVal, int32(i), int32(j), seed, 0, false); err != nil {
+				return nil, fmt.Errorf("setup value %d/%d: %w", i, j, err)
+			}
+		}
+		for k := 0; k < cfg.AccumsPerSession; k++ {
+			if err := s.Create(tagAcc, int32(i), int32(k), zeros, 0, true); err != nil {
+				return nil, fmt.Errorf("setup accum %d/%d: %w", i, k, err)
+			}
+		}
+	}
+	co := &collector{lat: make(map[string][]float64), errs: make(map[string]int64)}
+	ones := make([]float64, cfg.ValLen)
+	for j := range ones {
+		ones[j] = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, op := range plan.Ops {
+		if d := time.Duration(op.At) - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(op PlannedOp) {
+			defer wg.Done()
+			s := sessions[op.Sess]
+			t0 := time.Now()
+			var err error
+			switch op.Op {
+			case OpUse:
+				_, err = s.Use(op.Tag, op.X, op.Y)
+			case OpUpdate:
+				_, err = s.Update(op.Tag, op.X, op.Y, ones)
+			case OpCreate:
+				err = s.Create(op.Tag, op.X, op.Y, seed, 0, false)
+			case OpReadChaotic:
+				_, err = s.ReadChaotic(op.Tag, op.X, op.Y)
+			}
+			co.record(op.Op, time.Since(t0), err)
+		}(op)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Config:  cfg,
+		WallMs:  float64(wall) / float64(time.Millisecond),
+		Offered: cfg.Rate,
+		PerOp:   make(map[string]OpReport),
+	}
+	var done int64
+	co.mu.Lock()
+	rep.AckedAdds = co.acked
+	for name, lats := range co.lat {
+		sort.Float64s(lats)
+		var sum float64
+		for _, v := range lats {
+			sum += v
+		}
+		r := OpReport{
+			Count:  int64(len(lats)),
+			Errors: co.errs[name],
+			P50Ms:  percentile(lats, 0.50),
+			P90Ms:  percentile(lats, 0.90),
+			P99Ms:  percentile(lats, 0.99),
+			MaxMs:  percentile(lats, 1.0),
+		}
+		if len(lats) > 0 {
+			r.MeanMs = sum / float64(len(lats))
+		}
+		rep.PerOp[name] = r
+		done += r.Count
+	}
+	for name, n := range co.errs {
+		if _, ok := rep.PerOp[name]; !ok {
+			rep.PerOp[name] = OpReport{Errors: n}
+		}
+	}
+	co.mu.Unlock()
+	if wall > 0 {
+		rep.Achieved = float64(done) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+// Sweep runs the same workload at each offered rate in turn, mapping the
+// latency knee. Each rung labels its tenants distinctly, so its sessions
+// and objects live in a disjoint namespace — leftovers from the previous
+// rung (sessions stay open until the server's idle timeout) cannot
+// collide with the next rung's setup creates.
+func Sweep(cl *Client, cfg Config, rates []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(rates))
+	for i, rate := range rates {
+		c := cfg.withDefaults()
+		c.Rate = rate
+		c.Label = fmt.Sprintf("%s-r%d", cfg.Label, i)
+		rep, err := Run(cl, BuildPlan(c))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, SweepPoint{Rate: rate, Report: *rep})
+	}
+	return out, nil
+}

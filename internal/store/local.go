@@ -1,0 +1,79 @@
+package store
+
+import (
+	"fmt"
+
+	"samsys/internal/core"
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/netfab"
+	"samsys/internal/machine"
+	"samsys/internal/trace"
+)
+
+// LocalService is an n-rank serving cluster inside one process: real TCP
+// between ranks (netfab.NewLocal), real client connections, one World.
+// It is what the load generator's -local mode, the store tests and the CI
+// smoke job run against.
+type LocalService struct {
+	Cluster *netfab.Cluster
+	World   *core.World
+	Servers []*Server
+
+	done chan error
+}
+
+// StartLocal boots the cluster and starts serving. Stop shuts it down.
+// tr may be nil; when set it receives both the runtime's protocol events
+// and the store's client events, so a trace checker attached to it
+// validates the whole interleaving.
+func StartLocal(prof machine.Profile, n int, opts Options, tr *trace.Recorder, fopts netfab.Options) (*LocalService, error) {
+	return StartLocalWrapped(prof, n, opts, tr, fopts, nil)
+}
+
+// StartLocalWrapped is StartLocal with a hook that wraps the cluster
+// fabric before the world runs on it; fault-injection layers (faultfab)
+// slot in here. Client connections still attach to the raw rank
+// listeners: an injected fault severs rank-to-rank links, not client
+// connections, mirroring a deployment where the flaky part is the
+// interconnect.
+func StartLocalWrapped(prof machine.Profile, n int, opts Options, tr *trace.Recorder, fopts netfab.Options, wrap func(fabric.Fabric) fabric.Fabric) (*LocalService, error) {
+	cl, err := netfab.NewLocalOpts(prof, n, fopts)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		cl.SetTracer(tr)
+	}
+	var runFab fabric.Fabric = cl
+	if wrap != nil {
+		runFab = wrap(cl)
+	}
+	w := core.NewWorld(runFab, core.Options{Trace: tr, Coalesce: true})
+	svc := &LocalService{
+		Cluster: cl, World: w,
+		Servers: make([]*Server, n),
+		done:    make(chan error, 1),
+	}
+	for rank := 0; rank < n; rank++ {
+		svc.Servers[rank] = New(w, rank, n, opts, tr)
+		svc.Servers[rank].Attach(cl.Fab(rank))
+	}
+	app := func(c *core.Ctx) { svc.Servers[c.Node()].Serve(c) }
+	go func() { svc.done <- w.Run(app) }()
+	return svc, nil
+}
+
+// Addr returns rank 0's listener address; clients learn the rest from the
+// welcome frame.
+func (s *LocalService) Addr() string { return s.Cluster.Fab(0).Addr() }
+
+// Stop closes the external queues — every rank finishes its queued
+// requests and leaves its serve loop — and waits for the world to run
+// down.
+func (s *LocalService) Stop() error {
+	s.World.CloseExternal()
+	if err := <-s.done; err != nil {
+		return fmt.Errorf("store: serving world: %w", err)
+	}
+	return nil
+}

@@ -107,6 +107,16 @@ const (
 	EvLinkRedial // netfab data link re-established; Peer: dst, Aux: dial attempt, Aux2: frames resent
 	EvMsgDup     // netfab suppressed a duplicate resent frame; Peer: src, Aux: per-link seq
 
+	// External client operations against a store service (internal/store).
+	// The checker does not constrain these — client ops execute as ordinary
+	// SAM operations whose protocol events are checked above — but their
+	// presence in a trace ties external mutations to the protocol activity
+	// they caused.
+	EvClientOpen   // a client session opened/attached; Aux: attached conns
+	EvClientOp     // one client request executed; Aux: opcode, Aux2: request bytes
+	EvClientClose  // a client session closed; Aux: 1 explicit, 0 idle timeout
+	EvClientReject // a client request refused; Aux: opcode, Aux2: reason code
+
 	numKinds
 )
 
@@ -162,6 +172,10 @@ var kindNames = [numKinds]string{
 	EvLinkDown:       "link-down",
 	EvLinkRedial:     "link-redial",
 	EvMsgDup:         "msg-dup",
+	EvClientOpen:     "client-open",
+	EvClientOp:       "client-op",
+	EvClientClose:    "client-close",
+	EvClientReject:   "client-reject",
 }
 
 func (k Kind) String() string {
@@ -190,6 +204,8 @@ func (k Kind) Category() string {
 		return "fault"
 	case k >= EvLinkDown && k <= EvMsgDup:
 		return "fabric"
+	case k >= EvClientOpen && k <= EvClientReject:
+		return "client"
 	}
 	return "other"
 }

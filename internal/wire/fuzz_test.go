@@ -10,12 +10,14 @@ import (
 	_ "samsys/internal/apps/cholesky"
 	"samsys/internal/core"
 	"samsys/internal/pack"
+	"samsys/internal/store"
 	"samsys/internal/wire"
 )
 
 // seeds returns one canonical encoding per registered message/item shape.
 func seeds() [][]byte {
 	s := core.WireSamples()
+	s = append(s, store.WireSamples()...)
 	for _, it := range []any{
 		pack.Bytes("seed"),
 		pack.Float64s{3.14, -1e-9},
