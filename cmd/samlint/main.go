@@ -1,17 +1,24 @@
 // Command samlint statically checks SAM client code for protocol
 // misuse: unbalanced Begin*/End* borrows, borrowed items that escape
 // their borrow, writes to single-assignment values, blocking while
-// holding an accumulator, and leaked per-process contexts.
+// holding an accumulator, leaked per-process contexts, blocking calls
+// reachable from handler context, opcode handlers that do not reply
+// exactly once, unregistered wire payloads, and leftover calls to the
+// superseded borrow API.
 //
 // Usage:
 //
-//	samlint [-json] [-v] [packages]
+//	samlint [-json] [-github] [-v] [packages]
 //
-// Packages are `go list` patterns (default "./..."). Exit status is 1
-// when findings remain after suppression, 2 on load or type errors, and
-// 0 otherwise. //samlint:ignore <analyzer> <reason> on the preceding
-// line suppresses a finding; -v echoes suppressed findings with their
-// reasons. See LINT.md for the analyzer catalog.
+// Packages are `go list` patterns (default "./..."). All packages are
+// analyzed under one interprocedural program, so summaries and wire
+// registrations cross package boundaries; run over ./... for the
+// authoritative whole-program answer. Exit status is 1 when findings
+// remain after suppression, 2 on load or type errors, and 0 otherwise.
+// //samlint:ignore <analyzer> <reason> on the preceding line suppresses
+// a finding; -v echoes suppressed findings with their reasons. -github
+// emits GitHub Actions workflow annotations instead of plain lines. See
+// LINT.md for the analyzer catalog.
 package main
 
 import (
@@ -19,15 +26,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"samsys/internal/analysis"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations")
 	verbose := flag.Bool("v", false, "also show suppressed findings with their reasons")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: samlint [-json] [-v] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: samlint [-json] [-github] [-v] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,7 +59,6 @@ func main() {
 	}
 
 	loadFailed := false
-	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		if len(pkg.Errs) > 0 {
 			loadFailed = true
@@ -57,7 +66,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "samlint: %s: %v\n", pkg.Path, e)
 			}
 		}
-		all = append(all, analysis.Run(pkg, analysis.Analyzers)...)
+	}
+
+	// One program over every loaded package: summaries and wire
+	// registrations are resolved across all of them before any
+	// per-package reporting runs.
+	prog := analysis.NewProgram(pkgs)
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, prog.RunPkg(pkg, analysis.Analyzers)...)
 	}
 
 	active := 0
@@ -73,7 +90,8 @@ func main() {
 		shown = append(shown, d)
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if shown == nil {
@@ -83,7 +101,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "samlint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *github:
+		for _, d := range shown {
+			if d.Suppressed {
+				continue
+			}
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			msg := d.Analyzer + ": " + d.Message
+			if d.Hint != "" {
+				msg += " (" + d.Hint + ")"
+			}
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n",
+				file, d.Pos.Line, d.Pos.Column, annotationEscape(msg))
+		}
+	default:
 		for _, d := range shown {
 			if d.Suppressed {
 				reason := d.Reason
@@ -103,4 +137,13 @@ func main() {
 	case active > 0:
 		os.Exit(1)
 	}
+}
+
+// annotationEscape encodes the characters the workflow-command parser
+// treats specially in annotation messages.
+func annotationEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

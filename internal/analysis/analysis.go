@@ -56,21 +56,39 @@ var Analyzers = []*Analyzer{
 	SingleAssign,
 	HoldBlock,
 	CtxLeak,
+	HandlerBlock,
+	ReplyOnce,
+	WireReg,
+	DeprecatedAPI,
 }
 
 // Pass carries one package through the suite. The protocol analyzers
-// share a single dataflow computation, cached here.
+// share a single dataflow computation, cached here; Prog links back to
+// the whole-program summary engine the pass runs under.
 type Pass struct {
 	Pkg   *Package
+	Prog  *Program
 	proto *protoResult
 }
 
-// Run applies the given analyzers to pkg, resolves //samlint:ignore
-// suppressions, and returns all diagnostics sorted by position.
-// Suppressed diagnostics are included with Suppressed set; callers
-// decide whether to show them (samlint does under -v).
+// Run applies the given analyzers to a single package, building a
+// one-package Program for the summary engine. samlint itself builds one
+// Program over every loaded package and uses RunPkg, so cross-package
+// summaries and wire registrations are visible.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	pass := &Pass{Pkg: pkg}
+	return NewProgram([]*Package{pkg}).RunPkg(pkg, analyzers)
+}
+
+// RunPkg applies the given analyzers to one package of the program,
+// resolves //samlint:ignore suppressions, and returns all diagnostics
+// sorted by position. Suppressed diagnostics are included with
+// Suppressed set; callers decide whether to show them (samlint does
+// under -v).
+func (prog *Program) RunPkg(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	pass := prog.passes[pkg]
+	if pass == nil {
+		pass = &Pass{Pkg: pkg, Prog: prog}
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		diags = append(diags, a.run(pass)...)

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 )
@@ -65,8 +66,10 @@ var HoldBlock = &Analyzer{
 // CtxLeak checks that a runtime context (core.Ctx / sam.Ctx) never
 // escapes the process it belongs to: not stored in a struct or
 // package-level variable, not passed to or captured by a spawned
-// goroutine, and not captured by a FetchValueAsync callback (which runs
-// in handler context, where blocking Ctx calls are illegal).
+// goroutine, and not passed to a callee whose interprocedural summary
+// says it retains the context. Capture by an asynchronous-operation
+// callback is not a leak — the callback runs in the owning process's
+// handler context — but blocking there is; handlerblock checks that.
 var CtxLeak = &Analyzer{
 	Name: "ctxleak",
 	Doc:  "a Ctx is per-process and must stay on its own call stack",
@@ -149,12 +152,20 @@ func runCtxLeak(p *Pass) []Diagnostic {
 					report(sel.X.Pos(), "Ctx method launched as a goroutine; contexts are per-process")
 				}
 			case *ast.CallExpr:
-				if p.samCall(n) != opFetchValueAsync {
-					return true
-				}
-				for _, a := range n.Args {
-					if fl, ok := unwrap(a).(*ast.FuncLit); ok {
-						captured(fl, "a FetchValueAsync callback, which runs in handler context")
+				// Interprocedural: passing a Ctx to a function whose
+				// summary says the parameter escapes is the same leak,
+				// one call deeper. Captures by asynchronous callbacks are
+				// deliberately NOT escapes: the callback runs in the
+				// owning process's own handler context, where the hazard
+				// is blocking — handlerblock's job, checked precisely.
+				if p.Prog != nil {
+					if pf := p.Prog.calleeOf(p, n); pf != nil && pf.sum != nil {
+						for _, idx := range sortedKeys(pf.sum.ctxEscapes) {
+							if idx < len(n.Args) && isCtxExpr(n.Args[idx]) {
+								report(n.Args[idx].Pos(),
+									fmt.Sprintf("Ctx passed to %s, which retains it beyond the call", pf.name()))
+							}
+						}
 					}
 				}
 			}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkLoadAnalyze times the full samlint pipeline over the whole
+// repository — `go list`, parallel parsing, type checking, the
+// interprocedural summary fixpoint, and every analyzer — which is what
+// CI pays on each push. The loader shells out to the go tool and reads
+// the tree from disk, so this is a wall-clock benchmark of the real
+// thing, not a microbenchmark; run with -benchtime=1x for a single
+// timed pass.
+func BenchmarkLoadAnalyze(b *testing.B) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		loader := NewLoader(root)
+		pkgs, err := loader.LoadPackages("samsys/...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			if len(pkg.Errs) > 0 {
+				b.Fatalf("%s: %v", pkg.Path, pkg.Errs)
+			}
+		}
+		prog := NewProgram(pkgs)
+		n := 0
+		for _, pkg := range pkgs {
+			n += len(prog.RunPkg(pkg, Analyzers))
+		}
+		if n == 0 {
+			b.Fatal("no diagnostics at all (suppressed ones included): the pipeline is not analyzing anything")
+		}
+	}
+}

@@ -49,7 +49,7 @@ func beginKind(op samOp) borrowKind {
 // closerName names the call that ends borrow i, for diagnostics: the
 // End* call for Begin borrows, the handle method for handle borrows.
 func closerName(i *inst) string {
-	if !i.op.handleOp() {
+	if !i.handle {
 		return kindEnd[i.kind]
 	}
 	if i.kind == kindAccum {
@@ -73,13 +73,42 @@ func endCloses(op samOp) (borrowKind, bool) {
 	return 0, false
 }
 
-// inst is one borrow instance: a Begin* call site.
+// inst is one borrow instance: a Begin* call site, or a call to a
+// helper whose interprocedural summary opens a borrow on the caller's
+// behalf (op is opNone and label names the helper).
 type inst struct {
-	op   samOp
-	kind borrowKind
-	key  string // canonicalized name expression
-	pos  token.Pos
-	free map[types.Object]bool // locals the key depends on
+	op     samOp
+	kind   borrowKind
+	key    string    // canonicalized name expression
+	parts  []keyPart // the key's part sequence, for summary extraction
+	pos    token.Pos
+	free   map[types.Object]bool // locals the key depends on
+	label  string                // helper name for summary-opened borrows
+	handle bool                  // closed through a returned ref, not an End*
+}
+
+// display names the opener for diagnostics.
+func (i *inst) display() string {
+	if i.label != "" {
+		return i.label
+	}
+	return opName[i.op]
+}
+
+// closeFact records a net borrow close: an End* (or a summarized closer)
+// with no matching Begin in this function — the closing half of a
+// wrapper. Facts that hold at every exit become the function's closer
+// summary.
+type closeFact struct {
+	kind  borrowKind
+	key   string
+	parts []keyPart
+	pub   bool // the close publishes (EndCreateValue/EndUpdateAccumToValue)
+	// refObj, when set, records a handle close instead of a name close:
+	// the fact closes whatever borrow the given parameter's handle holds
+	// (ipgPut(ref) { ref.Release() } — the closing half of a handle
+	// wrapper, matched by argument position rather than name).
+	refObj types.Object
 }
 
 // pubFact records one publication (EndCreateValue, EndUpdateAccumToValue
@@ -89,20 +118,30 @@ type pubFact struct {
 	free map[types.Object]bool
 }
 
-// flowState is the per-program-point fact set.
+// flowState is the per-program-point fact set. open/done/pub/vars are
+// may-facts (unioned at joins); alias/mopen/mclosed are must-facts
+// (intersected at joins): an alias or an open/closed obligation only
+// survives a join when it holds on every incoming path.
 type flowState struct {
 	open map[*inst]bool               // borrows possibly open here
 	done map[*inst]bool               // create borrows already published
 	pub  map[string]map[*pubFact]bool // value names already published
 	vars map[types.Object]map[*inst]bool
+
+	alias   map[types.Object]string // local var -> canonical key it copies
+	mopen   map[*inst]bool          // borrows open on EVERY path here
+	mclosed map[string]*closeFact   // net closes performed on every path
 }
 
 func newFlowState() *flowState {
 	return &flowState{
-		open: make(map[*inst]bool),
-		done: make(map[*inst]bool),
-		pub:  make(map[string]map[*pubFact]bool),
-		vars: make(map[types.Object]map[*inst]bool),
+		open:    make(map[*inst]bool),
+		done:    make(map[*inst]bool),
+		pub:     make(map[string]map[*pubFact]bool),
+		vars:    make(map[types.Object]map[*inst]bool),
+		alias:   make(map[types.Object]string),
+		mopen:   make(map[*inst]bool),
+		mclosed: make(map[string]*closeFact),
 	}
 }
 
@@ -128,10 +167,20 @@ func (st *flowState) clone() *flowState {
 		}
 		c.vars[obj] = m
 	}
+	for obj, a := range st.alias {
+		c.alias[obj] = a
+	}
+	for k := range st.mopen {
+		c.mopen[k] = true
+	}
+	for k, f := range st.mclosed {
+		c.mclosed[k] = f
+	}
 	return c
 }
 
-// mergeFrom unions other into st and reports whether st changed.
+// mergeFrom joins other into st and reports whether st changed:
+// may-facts are unioned, must-facts intersected.
 func (st *flowState) mergeFrom(other *flowState) bool {
 	changed := false
 	for k := range other.open {
@@ -172,6 +221,24 @@ func (st *flowState) mergeFrom(other *flowState) bool {
 			}
 		}
 	}
+	for obj, a := range st.alias {
+		if other.alias[obj] != a {
+			delete(st.alias, obj)
+			changed = true
+		}
+	}
+	for k := range st.mopen {
+		if !other.mopen[k] {
+			delete(st.mopen, k)
+			changed = true
+		}
+	}
+	for k := range st.mclosed {
+		if other.mclosed[k] == nil {
+			delete(st.mclosed, k)
+			changed = true
+		}
+	}
 	return changed
 }
 
@@ -194,7 +261,7 @@ func (p *Pass) protocol() *protoResult {
 			pubs:  make(map[*ast.CallExpr]*pubFact),
 			diags: make(map[string][]Diagnostic),
 		}
-		fa.run(u)
+		fa.run(u, true)
 		for name, ds := range fa.diags {
 			for _, d := range ds {
 				k := fmt.Sprintf("%s|%s:%d:%d|%s", name, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
@@ -216,9 +283,28 @@ type flowAnalysis struct {
 	pubs  map[*ast.CallExpr]*pubFact
 	emit  bool
 	diags map[string][]Diagnostic
+
+	// collectExits makes atExit record the per-exit state instead of (or
+	// in addition to) reporting; the summary engine extracts a function's
+	// opener/closer summary from these records.
+	collectExits bool
+	exits        []exitRec
 }
 
-func (fa *flowAnalysis) run(u funcUnit) {
+// exitRec is the flow state at one function exit after deferred closes,
+// plus which borrows the exit's return statement hands to the caller.
+type exitRec struct {
+	ret      bool
+	pos      token.Pos
+	open     map[*inst]bool
+	mopen    map[*inst]bool
+	mclosed  map[string]*closeFact
+	returned map[*inst]bool
+}
+
+// run solves the dataflow, then replays for reporting (when report is
+// true) and exit collection.
+func (fa *flowAnalysis) run(u funcUnit, report bool) {
 	fa.g = fa.p.buildCFG(u.body)
 	in := make(map[*cfgBlock]*flowState)
 	in[fa.g.entry] = newFlowState()
@@ -239,9 +325,9 @@ func (fa *flowAnalysis) run(u funcUnit) {
 			}
 		}
 	}
-	// Reporting pass: replay each reachable block once over its final
-	// in-state with diagnostics enabled.
-	fa.emit = true
+	// Replay pass: each reachable block once over its final in-state,
+	// with diagnostics enabled and exits recorded.
+	fa.emit = report
 	for _, b := range fa.g.blocks {
 		start := in[b]
 		if start == nil {
@@ -286,6 +372,7 @@ func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
 		if t.direct && t.obj != nil {
 			fa.killFacts(st, t.obj)
 			delete(st.vars, t.obj)
+			delete(st.alias, t.obj)
 		}
 	case *ast.RangeStmt:
 		// Per-iteration reassignment of the loop variables.
@@ -301,6 +388,7 @@ func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
 			if obj != nil {
 				fa.killFacts(st, obj)
 				delete(st.vars, obj)
+				delete(st.alias, obj)
 			}
 		}
 	case *ast.CaseClause:
@@ -310,6 +398,7 @@ func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
 		if obj := fa.p.Pkg.Info.Implicits[n]; obj != nil {
 			fa.killFacts(st, obj)
 			delete(st.vars, obj)
+			delete(st.alias, obj)
 		}
 		for _, e := range n.List {
 			fa.calls(st, e)
@@ -320,7 +409,7 @@ func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
 		for _, i := range fa.heldInsts(st, n.Value) {
 			fa.report("borrowescape", n.Value.Pos(),
 				fmt.Sprintf("Item from %s(%s) sent on a channel; the receiver may use it after %s invalidates it",
-					opName[i.op], i.key, closerName(i)),
+					i.display(), i.key, closerName(i)),
 				"copy the data into your own storage before sending")
 		}
 	case *ast.GoStmt:
@@ -330,7 +419,7 @@ func (fa *flowAnalysis) transferNode(st *flowState, n ast.Node) {
 			for _, i := range fa.heldInsts(st, a) {
 				fa.report("borrowescape", a.Pos(),
 					fmt.Sprintf("Item from %s(%s) passed to a spawned goroutine, which may outlive the %s",
-						opName[i.op], i.key, closerName(i)),
+						i.display(), i.key, closerName(i)),
 					"copy the data out, or have the goroutine borrow the item itself")
 			}
 		}
@@ -390,6 +479,7 @@ func (fa *flowAnalysis) assign(st *flowState, a *ast.AssignStmt) {
 				fa.checkWrite(st, t, l.Pos())
 				if t.direct && t.obj != nil {
 					fa.killFacts(st, t.obj)
+					delete(st.alias, t.obj)
 					st.vars[t.obj] = map[*inst]bool{i: true}
 				}
 			}
@@ -413,7 +503,7 @@ func (fa *flowAnalysis) bindOne(st *flowState, lhs, rhs ast.Expr) {
 		for _, i := range fa.heldInsts(st, rhs) {
 			fa.report("borrowescape", rhs.Pos(),
 				fmt.Sprintf("Item from %s(%s) stored into %s, which outlives the %s",
-					opName[i.op], i.key, dest, closerName(i)),
+					i.display(), i.key, dest, closerName(i)),
 				"the item is cache-owned and invalid after the borrow ends; copy the data instead")
 		}
 	}
@@ -421,10 +511,31 @@ func (fa *flowAnalysis) bindOne(st *flowState, lhs, rhs ast.Expr) {
 	if !t.direct || t.obj == nil {
 		return
 	}
+	// A whole-variable copy of another local (`n := cn`) records an
+	// alias: n canonicalizes to cn's key until either is rebound, so an
+	// End through the copy still matches the Begin through the source.
+	// Resolve the source before killing the target's own facts (self-
+	// assignment edge).
+	newAlias, haveAlias := "", false
+	if rhs != nil {
+		if v, ok := fa.p.usedIdent(rhs).(*types.Var); ok && v != t.obj &&
+			!v.IsField() && v.Parent() != nil && v.Parent().Parent() != types.Universe {
+			if a, ok := st.alias[v]; ok {
+				newAlias = a
+			} else {
+				newAlias = v.Name()
+			}
+			haveAlias = true
+		}
+	}
 	fa.killFacts(st, t.obj)
 	delete(st.vars, t.obj)
+	delete(st.alias, t.obj)
 	if rhs == nil {
 		return
+	}
+	if haveAlias {
+		st.alias[t.obj] = newAlias
 	}
 	if i := fa.beginInst(rhs); i != nil {
 		st.vars[t.obj] = map[*inst]bool{i: true}
@@ -450,7 +561,7 @@ func (fa *flowAnalysis) checkWrite(st *flowState, t writeTarget, pos token.Pos) 
 	for i := range st.vars[t.obj] {
 		if st.open[i] && (i.kind == kindUse || i.kind == kindChaotic) {
 			fa.report("singleassign", pos,
-				fmt.Sprintf("write through the read-only %s(%s) borrow", opName[i.op], i.key),
+				fmt.Sprintf("write through the read-only %s(%s) borrow", i.display(), i.key),
 				"use/chaotic borrows are read-only; mutate through BeginUpdateAccum instead")
 		}
 		if st.done[i] {
@@ -541,18 +652,18 @@ func (fa *flowAnalysis) calls(st *flowState, n ast.Node) {
 func (fa *flowAnalysis) applyCall(st *flowState, call *ast.CallExpr) {
 	op := fa.p.samCall(call)
 	if op == opNone {
+		// Not a runtime call: consult the interprocedural summary of the
+		// callee, if any, so obligations opened, closed, or blocked on
+		// inside helpers surface here.
+		if prog := fa.p.Prog; prog != nil {
+			if pf := prog.calleeOf(fa.p, call); pf != nil {
+				fa.applySummary(st, call, pf)
+			}
+		}
 		return
 	}
 	if op.blocking() {
-		for i := range st.open {
-			if i.kind != kindAccum {
-				continue
-			}
-			fa.report("holdblock", call.Pos(),
-				fmt.Sprintf("%s may block while holding %s(%s) from line %d; a blocked holder can deadlock other updaters of the accumulator",
-					opName[op], opName[i.op], i.key, fa.line(i.pos)),
-				fmt.Sprintf("finish the accumulator with %s before any blocking operation", closerName(i)))
-		}
+		fa.holdCheck(st, call, opName[op], "")
 	}
 	switch op {
 	case opBeginCreate, opBeginRename, opBeginUse, opBeginAccum, opBeginChaotic,
@@ -560,13 +671,14 @@ func (fa *flowAnalysis) applyCall(st *flowState, call *ast.CallExpr) {
 		opTypedUse, opTypedUpdate, opTypedChaotic,
 		opTypedCreateInPlace, opTypedRename:
 		if op == opBeginRename && len(call.Args) > 0 {
-			delete(st.pub, keyOf(call.Args[0])) // the old name is retired
+			delete(st.pub, renderParts(st, fa.p.partsOf(call.Args[0]))) // the old name is retired
 		}
 		if op == opTypedRename && len(call.Args) > 1 {
-			delete(st.pub, keyOf(call.Args[1]))
+			delete(st.pub, renderParts(st, fa.p.partsOf(call.Args[1])))
 		}
-		i := fa.instFor(call, op)
+		i := fa.instFor(st, call, op)
 		st.open[i] = true
+		st.mopen[i] = true
 		delete(st.done, i)
 	case opEndCreate, opEndUse, opEndAccum, opEndAccumToValue, opEndChaotic:
 		fa.closeOp(st, op, call)
@@ -575,27 +687,165 @@ func (fa *flowAnalysis) applyCall(st *flowState, call *ast.CallExpr) {
 	case opCreateValue, opTypedCreate:
 		fa.publish(st, nameArg(op, call), call)
 	case opDestroyValue, opConvertToAccum:
-		delete(st.pub, keyOf(nameArg(op, call)))
-	case opSpawnTask, opSpawnWhenValues, opFetchValueAsync:
-		what := "an asynchronous task"
-		if op == opFetchValueAsync {
-			what = "a FetchValueAsync callback"
-		}
-		fa.checkCapture(st, call, what)
+		delete(st.pub, renderParts(st, fa.p.partsOf(nameArg(op, call))))
+	case opSpawnTask, opSpawnWhenValues:
+		fa.checkCapture(st, call, "an asynchronous task")
+	case opFetchValueAsync, opAcquireAsync, opChaoticAsync, opRenameAsync:
+		fa.checkCapture(st, call, "a "+opName[op]+" callback")
 	}
 }
 
-func (fa *flowAnalysis) instFor(call *ast.CallExpr, op samOp) *inst {
+// holdCheck reports blocking (directly, or via a summarized helper when
+// via is non-empty) while an accumulator borrow is open.
+func (fa *flowAnalysis) holdCheck(st *flowState, call *ast.CallExpr, what, via string) {
+	for i := range st.open {
+		if i.kind != kindAccum {
+			continue
+		}
+		detail := what
+		if via != "" {
+			detail = what + " (" + via + ")"
+		}
+		fa.report("holdblock", call.Pos(),
+			fmt.Sprintf("%s may block while holding %s(%s) from line %d; a blocked holder can deadlock other updaters of the accumulator",
+				detail, i.display(), i.key, fa.line(i.pos)),
+			fmt.Sprintf("finish the accumulator with %s before any blocking operation", closerName(i)))
+	}
+}
+
+// applySummary applies a summarized helper call: its net closes, its
+// opened-and-returned borrow, and its may-block behavior.
+func (fa *flowAnalysis) applySummary(st *flowState, call *ast.CallExpr, pf *progFunc) {
+	sum := pf.sum
+	if sum == nil {
+		return
+	}
+	if sum.mayBlock && !pf.nonblocking {
+		fa.holdCheck(st, call, "call to "+pf.name(), sum.blockDesc)
+	}
+	argParts := func(idx int) []keyPart {
+		e := callArg(call, idx)
+		if e == nil {
+			return nil
+		}
+		return fa.p.partsOf(e)
+	}
+	for _, cs := range sum.closes {
+		if cs.handleIdx >= 0 {
+			arg := callArg(call, cs.handleIdx)
+			if arg == nil {
+				continue
+			}
+			// The callee closes whatever borrow the handle argument at
+			// this position holds — exactly closeRef, one call deeper.
+			for _, i := range fa.heldInsts(st, arg) {
+				delete(st.open, i)
+				delete(st.mopen, i)
+				if i.kind == kindCreate {
+					st.done[i] = true
+				}
+				if cs.pub {
+					fa.publishKey(st, i.key, i.free, call)
+				}
+			}
+			continue
+		}
+		parts, ok := instantiate(cs.tmpl, argParts)
+		if !ok {
+			continue
+		}
+		fa.innerClose(st, cs.kind, parts, freeOfParts(parts), cs.pub, call)
+	}
+	if sum.opens != nil {
+		i := fa.insts[call]
+		if i == nil {
+			parts, ok := instantiate(sum.opens.tmpl, argParts)
+			if !ok {
+				return
+			}
+			i = &inst{
+				op:     opNone,
+				kind:   sum.opens.kind,
+				key:    renderParts(st, parts),
+				parts:  parts,
+				pos:    call.Pos(),
+				free:   fa.summaryFree(call, sum.opens.tmpl),
+				label:  pf.name(),
+				handle: sum.opens.handle,
+			}
+			fa.insts[call] = i
+		}
+		st.open[i] = true
+		st.mopen[i] = true
+		delete(st.done, i)
+	}
+}
+
+// summaryFree computes the locals a summary-opened borrow's key depends
+// on: the free variables of every call-site argument the template
+// substitutes.
+func (fa *flowAnalysis) summaryFree(call *ast.CallExpr, tmpl []tmplPart) map[types.Object]bool {
+	free := make(map[types.Object]bool)
+	seen := make(map[int]bool)
+	for _, t := range tmpl {
+		if t.idx == tmplNone || seen[t.idx] {
+			continue
+		}
+		seen[t.idx] = true
+		for obj := range fa.p.freeVars(callArg(call, t.idx)) {
+			free[obj] = true
+		}
+	}
+	return free
+}
+
+// callArg returns the call-site expression at a summary parameter index:
+// -1 is the method receiver, n is the nth argument.
+func callArg(call *ast.CallExpr, idx int) ast.Expr {
+	if idx == -1 {
+		fun := call.Fun
+		switch ix := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ix.X
+		case *ast.IndexListExpr:
+			fun = ix.X
+		}
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	if idx >= 0 && idx < len(call.Args) {
+		return call.Args[idx]
+	}
+	return nil
+}
+
+// freeOfParts collects the variable references of a part sequence.
+func freeOfParts(parts []keyPart) map[types.Object]bool {
+	free := make(map[types.Object]bool)
+	for _, p := range parts {
+		if p.obj != nil {
+			free[p.obj] = true
+		}
+	}
+	return free
+}
+
+func (fa *flowAnalysis) instFor(st *flowState, call *ast.CallExpr, op samOp) *inst {
 	if i := fa.insts[call]; i != nil {
 		return i
 	}
 	ne := nameArg(op, call)
+	parts := fa.p.partsOf(ne)
 	i := &inst{
-		op:   op,
-		kind: beginKind(op),
-		key:  keyOf(ne),
-		pos:  call.Pos(),
-		free: fa.p.freeVars(ne),
+		op:     op,
+		kind:   beginKind(op),
+		key:    renderParts(st, parts),
+		parts:  parts,
+		pos:    call.Pos(),
+		free:   fa.p.freeVars(ne),
+		handle: op.handleOp(),
 	}
 	fa.insts[call] = i
 	return i
@@ -603,21 +853,39 @@ func (fa *flowAnalysis) instFor(call *ast.CallExpr, op samOp) *inst {
 
 // closeOp closes the matching open borrow(s) and records publication.
 // An End with no matching Begin in this function is not flagged: that is
-// the closing half of a wrapper (e.g. dset.EndGet).
+// the closing half of a wrapper (e.g. dset.EndGet) and becomes part of
+// the function's closer summary.
 func (fa *flowAnalysis) closeOp(st *flowState, op samOp, call *ast.CallExpr) {
 	kind, _ := endCloses(op)
 	ne := nameArg(op, call)
-	key := keyOf(ne)
+	fa.innerClose(st, kind, fa.p.partsOf(ne), fa.p.freeVars(ne),
+		op == opEndCreate || op == opEndAccumToValue, call)
+}
+
+// innerClose closes open borrows of the given kind and canonical key; a
+// close with nothing to match is recorded as a net close (the closing
+// half of a wrapper). pub marks closes that publish the name.
+func (fa *flowAnalysis) innerClose(st *flowState, kind borrowKind, parts []keyPart, free map[types.Object]bool, pub bool, call *ast.CallExpr) {
+	key := renderParts(st, parts)
+	matched := false
 	for i := range st.open {
 		if i.kind == kind && i.key == key {
+			matched = true
 			delete(st.open, i)
+			delete(st.mopen, i)
 			if kind == kindCreate {
 				st.done[i] = true
 			}
 		}
 	}
-	if op == opEndCreate || op == opEndAccumToValue {
-		fa.publish(st, ne, call)
+	if !matched {
+		ck := fmt.Sprintf("%d|%s", kind, key)
+		if st.mclosed[ck] == nil {
+			st.mclosed[ck] = &closeFact{kind: kind, key: key, parts: parts, pub: pub}
+		}
+	}
+	if pub {
+		fa.publishKey(st, key, free, call)
 	}
 }
 
@@ -630,8 +898,10 @@ func (fa *flowAnalysis) closeRef(st *flowState, op samOp, call *ast.CallExpr) {
 	if !ok {
 		return
 	}
-	for _, i := range fa.heldInsts(st, sel.X) {
+	insts := fa.heldInsts(st, sel.X)
+	for _, i := range insts {
 		delete(st.open, i)
+		delete(st.mopen, i)
 		if i.kind == kindCreate {
 			st.done[i] = true
 		}
@@ -639,12 +909,26 @@ func (fa *flowAnalysis) closeRef(st *flowState, op samOp, call *ast.CallExpr) {
 			fa.publishKey(st, i.key, i.free, call)
 		}
 	}
+	if len(insts) > 0 {
+		return
+	}
+	// A handle close with no local opener: the closing half of a handle
+	// wrapper. Record it against the receiver variable; borrowScan turns
+	// facts on parameters into the function's closer summary.
+	if id, ok := unwrap(sel.X).(*ast.Ident); ok {
+		if v, ok := fa.p.Pkg.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+			ck := fmt.Sprintf("ref|%d", v.Pos())
+			if st.mclosed[ck] == nil {
+				st.mclosed[ck] = &closeFact{refObj: v, pub: op == opRefCommitToValue}
+			}
+		}
+	}
 }
 
 // publish records that the name ne is now a published value, flagging a
 // second publication of the same name on the same path.
 func (fa *flowAnalysis) publish(st *flowState, ne ast.Expr, call *ast.CallExpr) {
-	fa.publishKey(st, keyOf(ne), fa.p.freeVars(ne), call)
+	fa.publishKey(st, renderParts(st, fa.p.partsOf(ne)), fa.p.freeVars(ne), call)
 }
 
 // publishKey is publish on a pre-canonicalized key (used by handle
@@ -697,7 +981,7 @@ func (fa *flowAnalysis) checkCapture(st *flowState, call *ast.CallExpr, what str
 				}
 				fa.report("borrowescape", id.Pos(),
 					fmt.Sprintf("Item from %s(%s) captured by a closure passed to %s; the closure may run after %s invalidates it",
-						opName[i.op], i.key, what, closerName(i)),
+						i.display(), i.key, what, closerName(i)),
 					"copy the data out, or have the closure borrow the item itself")
 			}
 			return true
@@ -728,6 +1012,16 @@ func (fa *flowAnalysis) atExit(st *flowState, b *cfgBlock) {
 			}
 		}
 	}
+	if fa.collectExits {
+		fa.exits = append(fa.exits, exitRec{
+			ret:      b.ret != nil,
+			pos:      b.exitPos,
+			open:     st.open,
+			mopen:    st.mopen,
+			mclosed:  st.mclosed,
+			returned: returned,
+		})
+	}
 	where := "the end of the function"
 	if b.ret != nil {
 		where = fmt.Sprintf("the return at line %d", fa.line(b.exitPos))
@@ -736,18 +1030,18 @@ func (fa *flowAnalysis) atExit(st *flowState, b *cfgBlock) {
 		if returned[i] {
 			continue
 		}
-		if i.op.handleOp() {
+		if i.handle {
 			end := closerName(i)
 			fa.report("pairdiscipline", i.pos,
 				fmt.Sprintf("the %s(%s) handle does not reach %s on the path to %s",
-					opName[i.op], i.key, end, where),
+					i.display(), i.key, end, where),
 				fmt.Sprintf("call the handle's %s before this path leaves the function", end))
 			continue
 		}
 		end := kindEnd[i.kind]
 		fa.report("pairdiscipline", i.pos,
 			fmt.Sprintf("%s(%s) is not matched by %s(%s) on the path to %s",
-				opName[i.op], i.key, end, i.key, where),
+				i.display(), i.key, end, i.key, where),
 			fmt.Sprintf("close the borrow with %s(%s) before this path leaves the function", end, i.key))
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // The loader type-checks packages using only the standard library: package
@@ -107,19 +108,29 @@ func (l *Loader) goList(args ...string) ([]*listPkg, error) {
 	return pkgs, nil
 }
 
-// parseFiles parses the named files (absolute or relative to dir).
+// parseFiles parses the named files (absolute or relative to dir),
+// one goroutine per file: token.FileSet is safe for concurrent AddFile,
+// and parsing dominates load time once `go list` metadata is cached.
 func (l *Loader) parseFiles(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
-	var files []*ast.File
-	for _, name := range names {
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
 		path := name
 		if !filepath.IsAbs(path) {
 			path = filepath.Join(dir, name)
 		}
-		f, err := parser.ParseFile(l.fset, path, nil, mode)
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(l.fset, path, nil, mode)
+		}(i, path)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
 	}
 	return files, nil
 }
@@ -213,6 +224,7 @@ func newInfo() *types.Info {
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
@@ -251,18 +263,31 @@ func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
 	if err := l.ensure(rootPaths); err != nil {
 		return nil, err
 	}
-	var out []*Package
-	for _, r := range roots {
+	// Parse every root in parallel; type-checking stays sequential (the
+	// checker imports through the loader's shared package cache).
+	parsed := make([][]*ast.File, len(roots))
+	perr := make([]error, len(roots))
+	var wg sync.WaitGroup
+	for i, r := range roots {
 		meta := l.meta[r.ImportPath]
 		if meta == nil {
 			meta = r
 		}
-		files, err := l.parseFiles(meta.Dir, meta.GoFiles,
-			parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
+		roots[i] = meta
+		wg.Add(1)
+		go func(i int, meta *listPkg) {
+			defer wg.Done()
+			parsed[i], perr[i] = l.parseFiles(meta.Dir, meta.GoFiles,
+				parser.ParseComments|parser.SkipObjectResolution)
+		}(i, meta)
+	}
+	wg.Wait()
+	var out []*Package
+	for i, meta := range roots {
+		if perr[i] != nil {
+			return nil, perr[i]
 		}
-		out = append(out, l.check(meta.ImportPath, meta.Name, files))
+		out = append(out, l.check(meta.ImportPath, meta.Name, parsed[i]))
 	}
 	return out, nil
 }

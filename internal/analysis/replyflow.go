@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// replyflow.go checks the reply-exactly-once obligation of request
+// handlers (the replyonce analyzer). A handler receives a request and
+// must send exactly one reply for it on every path: a missed reply
+// strands the client forever (there are no reply timeouts in the store
+// protocol), a double reply corrupts the session stream.
+//
+// The check is a two-layer dataflow. A flow-insensitive taint pass
+// collects the locals derived from the request parameter (the request
+// itself, response values built from its ID, aliases). A CFG pass then
+// tracks the set of possible reply counts {0, 1, >=2} at every program
+// point; replies are attributed to calls that hand request-derived data
+// to a reply primitive (//samlint:reply), to a summarized callee that
+// replies for a request parameter, or to the callback literal of an
+// asynchronous operation (the reply happens when the callback fires,
+// which settles the obligation for the dispatching path).
+//
+// Suppressions heal the summary: an exit whose missing reply carries a
+// //samlint:ignore replyonce directive (a queued request, a gone client)
+// counts as replied for the callers, so a justified exception in a
+// helper never cascades upward.
+
+// replyState is a set of possible reply counts as a bitmask: bit c set
+// means "some path reaching here has sent exactly c replies" (bit 2
+// means two or more).
+type replyState uint8
+
+const (
+	reply0 replyState = 1 << iota
+	reply1
+	reply2 // two or more
+)
+
+// bounds returns the smallest and largest count in the set.
+func (st replyState) bounds() (min, max int) {
+	min, max = 3, -1
+	for c := 0; c <= 2; c++ {
+		if st&(1<<c) != 0 {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+	}
+	if max < 0 {
+		return 0, 0
+	}
+	return min, max
+}
+
+// addCount folds a call contributing between cmin and cmax replies into
+// the state, saturating at 2.
+func (st replyState) addCount(cmin, cmax int) replyState {
+	if cmax == 0 {
+		return st
+	}
+	var out replyState
+	for c := 0; c <= 2; c++ {
+		if st&(1<<c) == 0 {
+			continue
+		}
+		for add := cmin; add <= cmax; add++ {
+			n := c + add
+			if n > 2 {
+				n = 2
+			}
+			out |= 1 << n
+			if n == 2 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// replyFlow is one replyCheck run over a handler.
+type replyFlow struct {
+	prog  *Program
+	p     *Pass
+	taint map[types.Object]bool
+	emit  func(pos token.Pos, msg, hint string)
+
+	// contribs caches each call's (min, max) reply contribution; async
+	// callback literals are analyzed once and reused across the fixpoint.
+	contribs map[*ast.CallExpr][2]int
+	// emitted guards each callback literal's reporting pass.
+	emitted map[*ast.FuncLit]bool
+}
+
+// replyCheck computes how many replies pf sends for the request bound to
+// reqObj, over all paths: the healed (min, max) used for summaries.
+// When emit is non-nil, paths that can finish without a reply and calls
+// that can reply a second time are reported through it.
+func (prog *Program) replyCheck(pf *progFunc, reqObj types.Object, emit func(pos token.Pos, msg, hint string)) (min, max int) {
+	rf := &replyFlow{
+		prog:     prog,
+		p:        pf.pass,
+		emit:     emit,
+		contribs: make(map[*ast.CallExpr][2]int),
+		emitted:  make(map[*ast.FuncLit]bool),
+	}
+	rf.taint = rf.computeTaint(pf.decl.Body, reqObj)
+	return rf.body(pf.decl.Body, emit != nil)
+}
+
+// computeTaint collects reqObj and every local transitively assigned
+// from an expression mentioning a tainted object, across the whole body
+// including nested literals (flow-insensitive: over-tainting only makes
+// reply attribution more generous, never misses one).
+func (rf *replyFlow) computeTaint(body ast.Node, reqObj types.Object) map[types.Object]bool {
+	taint := map[types.Object]bool{reqObj: true}
+	mark := func(e ast.Expr) bool {
+		id, ok := unwrap(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := rf.p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = rf.p.Pkg.Info.Uses[id]
+		}
+		if obj == nil || taint[obj] {
+			return false
+		}
+		taint[obj] = true
+		return true
+	}
+	mentions := func(e ast.Expr) bool { return mentionsAny(rf.p, e, taint) }
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if mentions(n.Rhs[i]) && mark(n.Lhs[i]) {
+							changed = true
+						}
+					}
+					return true
+				}
+				for _, r := range n.Rhs {
+					if mentions(r) {
+						for _, l := range n.Lhs {
+							if mark(l) {
+								changed = true
+							}
+						}
+						break
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if mentions(v) {
+						for _, nm := range n.Names {
+							if mark(nm) {
+								changed = true
+							}
+						}
+						break
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return taint
+		}
+	}
+}
+
+// mentionsAny reports whether e references any object in the set.
+func mentionsAny(p *Pass, e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (rf *replyFlow) mentions(e ast.Expr) bool { return mentionsAny(rf.p, e, rf.taint) }
+
+// body runs the count dataflow over one body (the handler's, or an
+// asynchronous callback's) and returns the healed reply bounds. With
+// emitting set, the replay reports double replies at call sites and
+// missing replies at exits — only when the body replies at all: a body
+// that never touches the request carries no obligation of its own.
+func (rf *replyFlow) body(b *ast.BlockStmt, emitting bool) (int, int) {
+	g := rf.p.buildCFG(b)
+	in := make(map[*cfgBlock]replyState)
+	in[g.entry] = reply0
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := rf.transfer(in[blk], blk, false)
+		for _, s := range blk.succs {
+			if in[s] == 0 {
+				in[s] = out
+				work = append(work, s)
+			} else if in[s]|out != in[s] {
+				in[s] |= out
+				work = append(work, s)
+			}
+		}
+	}
+	// First pass over the solution: the raw exit bounds decide whether
+	// this body is a replier at all.
+	rawMax := 0
+	for _, blk := range g.blocks {
+		if in[blk] == 0 || !blk.exit {
+			continue
+		}
+		_, mx := rf.transfer(in[blk], blk, false).bounds()
+		if mx > rawMax {
+			rawMax = mx
+		}
+	}
+	if rawMax == 0 {
+		return 0, 0
+	}
+	// Replay: report, then fold the healed exit bounds.
+	min, max := 3, 0
+	for _, blk := range g.blocks {
+		if in[blk] == 0 {
+			continue
+		}
+		st := rf.transfer(in[blk], blk, emitting)
+		if !blk.exit {
+			continue
+		}
+		emin, emax := st.bounds()
+		if emin == 0 {
+			if emitting && !rf.prog.suppressedAt(rf.p, blk.exitPos, "replyonce") {
+				where := "the end of the function"
+				if blk.ret != nil {
+					where = fmt.Sprintf("the return at line %d",
+						rf.p.Pkg.Fset.Position(blk.exitPos).Line)
+				}
+				rf.emit(blk.exitPos,
+					fmt.Sprintf("the request can reach %s without a reply; the client would wait forever", where),
+					"reply or reject on every path, or suppress with //samlint:ignore replyonce <reason> when the reply is sent later (e.g. a queued acquire)")
+			}
+			// Heal the exit either way: a suppressed exception (queued
+			// request, gone client) is settled here, and an unsuppressed
+			// deficiency is this body's own finding — every replying body
+			// gets its own emitting pass, so callers need not repeat it.
+			emin = 1
+			if emax == 0 {
+				emax = 1
+			}
+		}
+		if emin < min {
+			min = emin
+		}
+		if emax > max {
+			max = emax
+		}
+	}
+	if min > max {
+		return 0, 0 // no reachable exits (the body never returns)
+	}
+	return min, max
+}
+
+// transfer folds every call of the block, in evaluation order, into the
+// state; with emitting set it also reports double replies and runs the
+// reporting pass of async callback literals.
+func (rf *replyFlow) transfer(st replyState, blk *cfgBlock, emitting bool) replyState {
+	for _, n := range blk.nodes {
+		for _, call := range callsIn(n) {
+			cmin, cmax := rf.contribution(call)
+			if emitting {
+				if cmin >= 1 && st&(reply1|reply2) != 0 &&
+					!rf.prog.suppressedAt(rf.p, call.Pos(), "replyonce") {
+					rf.emit(call.Pos(),
+						"the request may be replied to more than once: a path reaching this call has already sent a reply",
+						"every request gets exactly one reply; make the reply paths mutually exclusive")
+				}
+				if fl := rf.asyncCallback(call); fl != nil && !rf.emitted[fl] {
+					rf.emitted[fl] = true
+					rf.body(fl.Body, true)
+				}
+			}
+			st = st.addCount(cmin, cmax)
+		}
+	}
+	return st
+}
+
+// asyncCallback returns the function literal handed to an asynchronous
+// SAM operation as its handler-context callback, if any.
+func (rf *replyFlow) asyncCallback(call *ast.CallExpr) *ast.FuncLit {
+	cbIdx := asyncCallbackArg(rf.p.samCall(call))
+	if cbIdx < 0 || cbIdx >= len(call.Args) {
+		return nil
+	}
+	fl, _ := unwrap(call.Args[cbIdx]).(*ast.FuncLit)
+	return fl
+}
+
+// contribution returns how many replies one call sends for the tracked
+// request, as healed (min, max) bounds. Results are cached: callback
+// literals are solved once.
+func (rf *replyFlow) contribution(call *ast.CallExpr) (int, int) {
+	if c, ok := rf.contribs[call]; ok {
+		return c[0], c[1]
+	}
+	rf.contribs[call] = [2]int{0, 0} // cycle guard while computing
+	cmin, cmax := rf.rawContribution(call)
+	rf.contribs[call] = [2]int{cmin, cmax}
+	return cmin, cmax
+}
+
+func (rf *replyFlow) rawContribution(call *ast.CallExpr) (int, int) {
+	if op := rf.p.samCall(call); op != opNone {
+		if fl := rf.asyncCallback(call); fl != nil {
+			return rf.body(fl.Body, false)
+		}
+		return 0, 0
+	}
+	pf := rf.prog.calleeOf(rf.p, call)
+	if pf == nil {
+		return 0, 0
+	}
+	if pf.replyPrim {
+		for _, a := range call.Args {
+			if rf.mentions(a) {
+				return 1, 1
+			}
+		}
+		return 0, 0
+	}
+	if pf.sum != nil {
+		for _, idx := range sortedKeys(pf.sum.replies) {
+			if idx < len(call.Args) && rf.mentions(call.Args[idx]) {
+				ri := pf.sum.replies[idx]
+				return ri.min, ri.max
+			}
+		}
+	}
+	return 0, 0
+}
+
+// callsIn returns the calls inside one CFG node in evaluation order,
+// not descending into function literals (their calls run when the
+// literal does, and callback literals are accounted by contribution).
+// A CaseClause block node stands for the clause *guard* only — its body
+// statements are separate nodes of the same block, so descending into
+// the body here would count every call twice.
+func callsIn(n ast.Node) []*ast.CallExpr {
+	if cc, ok := n.(*ast.CaseClause); ok {
+		var out []*ast.CallExpr
+		for _, e := range cc.List {
+			out = append(out, callsIn(e)...)
+		}
+		return out
+	}
+	var out []*ast.CallExpr
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if c, ok := top.(*ast.CallExpr); ok {
+				out = append(out, c)
+			}
+			return true
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, x)
+		return true
+	})
+	return out
+}

@@ -47,8 +47,15 @@ const (
 	// Asynchronous-callback operations (callbacks run in handler
 	// context, where using a Ctx is illegal).
 	opFetchValueAsync // FetchValueAsync(name, cb)
+	opAcquireAsync    // AcquireAccumAsync(name, cb)
+	opChaoticAsync    // FetchChaoticAsync(name, cb)
+	opRenameAsync     // RenameValueAsync(old, new, uses, cb)
 	opSpawnTask       // SpawnTask(dst, task, size)
 	opSpawnWhenValues // SpawnTaskWhenValues(task, names...)
+
+	// External-request serving (blocking entry points of the serve loop).
+	opNextExternal  // NextExternal()
+	opServeExternal // ServeExternal()
 
 	// Handle-based openers (methods on Ctx returning a ref).
 	opUseRef     // UseValue(name) -> ValueRef
@@ -92,8 +99,13 @@ var samOpByName = map[string]samOp{
 	"Barrier":               opBarrier,
 	"NextTask":              opNextTask,
 	"FetchValueAsync":       opFetchValueAsync,
+	"AcquireAccumAsync":     opAcquireAsync,
+	"FetchChaoticAsync":     opChaoticAsync,
+	"RenameValueAsync":      opRenameAsync,
 	"SpawnTask":             opSpawnTask,
 	"SpawnTaskWhenValues":   opSpawnWhenValues,
+	"NextExternal":          opNextExternal,
+	"ServeExternal":         opServeExternal,
 	"UseValue":              opUseRef,
 	"UpdateAccum":           opUpdateRef,
 	"ReadChaotic":           opChaoticRef,
@@ -134,6 +146,13 @@ var opName = map[samOp]string{
 	opEndChaotic:      "EndReadChaotic",
 	opBarrier:         "Barrier",
 	opNextTask:        "NextTask",
+	opNextExternal:    "NextExternal",
+	opServeExternal:   "ServeExternal",
+
+	opFetchValueAsync: "FetchValueAsync",
+	opAcquireAsync:    "AcquireAccumAsync",
+	opChaoticAsync:    "FetchChaoticAsync",
+	opRenameAsync:     "RenameValueAsync",
 
 	opUseRef:             "UseValue",
 	opUpdateRef:          "UpdateAccum",
@@ -154,10 +173,39 @@ var opName = map[samOp]string{
 func (op samOp) blocking() bool {
 	switch op {
 	case opBeginUse, opBeginAccum, opBeginRename, opBarrier, opNextTask,
-		opUseRef, opUpdateRef, opTypedUse, opTypedUpdate, opTypedRename:
+		opUseRef, opUpdateRef, opTypedUse, opTypedUpdate, opTypedRename,
+		opNextExternal, opServeExternal:
 		return true
 	}
 	return false
+}
+
+// blocksHandler reports whether op may suspend a serving context. It is
+// blocking() plus the chaotic reads: a stale chaotic snapshot parks the
+// caller until a fresh one arrives (accum.go readChaotic), which is
+// tolerable for an application process but never for a handler or an
+// async callback.
+func (op samOp) blocksHandler() bool {
+	if op.blocking() {
+		return true
+	}
+	switch op {
+	case opBeginChaotic, opChaoticRef, opTypedChaotic:
+		return true
+	}
+	return false
+}
+
+// asyncCallbackArg returns the index of the handler-context callback
+// argument of an asynchronous operation, or -1.
+func asyncCallbackArg(op samOp) int {
+	switch op {
+	case opFetchValueAsync, opAcquireAsync, opChaoticAsync:
+		return 1
+	case opRenameAsync:
+		return 3
+	}
+	return -1
 }
 
 // handleOp reports whether op opens a borrow that is closed through its

@@ -31,3 +31,24 @@ func buggyStep(c *core.Ctx, rare bool) {
 	_ = v[0]
 	c.EndUseValue(name)
 }
+
+// buggyAsyncStep is the handler-context half of the cross-check: the
+// async fetch callback blocks (a Barrier in handler context), but only
+// on the rare branch. handlerblock flags it unconditionally at compile
+// time; the dynamic run is perfectly clean until the branch executes,
+// at which point the node's serving loop parks and the world deadlocks.
+func buggyAsyncStep(c *core.Ctx, rare bool) {
+	name := core.N1(9, 2)
+	if c.Node() == 0 {
+		c.CreateValue(name, pack.Ints{7}, core.UsesUnlimited)
+	}
+	c.Barrier()
+	if c.Node() == 1 {
+		c.FetchValueAsync(name, func(_ core.Item) {
+			if rare {
+				c.Barrier() // want handlerblock "Barrier"
+			}
+		})
+	}
+	c.Barrier()
+}

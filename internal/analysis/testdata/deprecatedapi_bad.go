@@ -1,0 +1,32 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const datag = 8
+
+// Leftover call sites of the superseded borrow API, each properly
+// paired (the migration finding is the only one expected).
+
+func oldBorrows(c *core.Ctx, i int) float64 {
+	v := c.BeginUseValue(core.N1(datag, i)).(pack.Float64s) // want deprecatedapi "BeginUseValue"
+	s := v[0]
+	c.EndUseValue(core.N1(datag, i)) // want deprecatedapi "EndUseValue"
+
+	a := c.BeginUpdateAccum(core.N1(datag, i+1)).(pack.Float64s) // want deprecatedapi "BeginUpdateAccum"
+	a[0] += s
+	c.EndUpdateAccum(core.N1(datag, i+1)) // want deprecatedapi "EndUpdateAccum"
+
+	r := c.BeginReadChaotic(core.N1(datag, i+2)).(pack.Float64s) // want deprecatedapi "BeginReadChaotic"
+	n := r[0]
+	c.EndReadChaotic(core.N1(datag, i+2)) // want deprecatedapi "EndReadChaotic"
+	return s + n
+}
+
+func oldConvert(c *core.Ctx, i int) {
+	a := c.BeginUpdateAccum(core.N1(datag, i)).(pack.Float64s) // want deprecatedapi "BeginUpdateAccum"
+	a[0]++
+	c.EndUpdateAccumToValue(core.N1(datag, i), core.UsesUnlimited) // want deprecatedapi "EndUpdateAccumToValue"
+}

@@ -1,0 +1,35 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const dagtag = 8
+
+// The handle API and the current create surface: nothing to migrate.
+
+func handleForms(c *core.Ctx, i int) float64 {
+	v, ref := core.Use[pack.Float64s](c, core.N1(dagtag, i))
+	s := v[0]
+	ref.Release()
+
+	a, aref := core.Update[pack.Float64s](c, core.N1(dagtag, i+1))
+	a[0] += s
+	aref.Commit()
+	return s
+}
+
+// BeginCreateValue/EndCreateValue are current API — the in-place
+// create and rename flows publish through EndCreateValue.
+func createInPlace(c *core.Ctx, i int, item pack.Float64s) {
+	it := c.BeginCreateValue(core.N1(dagtag, i), item, core.UsesUnlimited).(pack.Float64s)
+	it[0] = 1
+	c.EndCreateValue(core.N1(dagtag, i))
+}
+
+// Deprecated: compat shim kept for old callers; wraps the superseded
+// surface on purpose and is exempt.
+func shimUse(c *core.Ctx, n core.Name) core.Item {
+	return c.BeginUseValue(n)
+}

@@ -1,0 +1,52 @@
+package testdata
+
+import (
+	"sync"
+	"time"
+
+	"samsys/internal/core"
+)
+
+const hbtag = 6
+
+// Direct blockers in a declared-nonblocking function.
+//
+//samlint:nonblocking
+func servesDirect(c *core.Ctx, ch chan int, wg *sync.WaitGroup) {
+	<-ch                         // want handlerblock "channel receive"
+	ch <- 1                      // want handlerblock "channel send"
+	time.Sleep(time.Millisecond) // want handlerblock "time.Sleep"
+	wg.Wait()                    // want handlerblock "sync.WaitGroup.Wait"
+	c.Barrier()                  // want handlerblock "Barrier"
+}
+
+// hbInner blocks two calls down; the summaries carry it up so the
+// report lands on the call in the nonblocking root, naming the chain.
+func hbInner(c *core.Ctx) { c.Barrier() }
+
+func hbOuter(c *core.Ctx) { hbInner(c) }
+
+//samlint:nonblocking
+func servesViaHelpers(c *core.Ctx) {
+	hbOuter(c) // want handlerblock "may block"
+}
+
+// An asynchronous operation's callback runs in handler context on the
+// owning node: blocking there stalls every request to that node.
+func fetchAndPark(c *core.Ctx, ch chan int) {
+	c.FetchValueAsync(core.N1(hbtag, 0), func(it core.Item) {
+		<-ch       // want handlerblock "channel receive"
+		hbOuter(c) // want handlerblock "may block"
+		_ = it
+	})
+}
+
+// A select with no default parks the process.
+//
+//samlint:nonblocking
+func servesSelect(ch chan int) {
+	select { // want handlerblock "select without a default"
+	case <-ch:
+	case ch <- 1:
+	}
+}

@@ -1,0 +1,59 @@
+package testdata
+
+import "samsys/internal/core"
+
+const hbgtag = 6
+
+// Non-parking patterns in handler context: nothing here is flagged.
+
+// A select with a default polls and moves on; its comm operations are
+// not individually blocking.
+//
+//samlint:nonblocking
+func pollsClean(c *core.Ctx, ch chan int) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// Asynchronous SAM operations return immediately; the callback is a
+// separate body (checked on its own, clean here).
+//
+//samlint:nonblocking
+func asyncOnly(c *core.Ctx) {
+	c.FetchValueAsync(core.N1(hbgtag, 1), func(it core.Item) {
+		_ = it
+	})
+}
+
+// A helper declared nonblocking is trusted at its call sites — the
+// directive, not a rescan, settles it.
+//
+//samlint:nonblocking
+func nbHelper(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+//samlint:nonblocking
+func callsNBHelper(ch chan int) {
+	nbHelper(ch)
+}
+
+// A spawned goroutine runs on its own stack; blocking there does not
+// park the handler.
+//
+//samlint:nonblocking
+func spawnsWorker(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}

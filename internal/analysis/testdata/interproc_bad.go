@@ -1,0 +1,47 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const iptag = 9
+
+// The borrow obligation follows function summaries: an opener two
+// helpers deep still charges its caller, and a handle that never
+// reaches its Release is reported at the opening call.
+
+func ipGet(c *core.Ctx, i int) (pack.Float64s, core.ValueRef) {
+	return core.Use[pack.Float64s](c, core.N1(iptag, i))
+}
+
+func ipGet2(c *core.Ctx, i int) (pack.Float64s, core.ValueRef) {
+	return ipGet(c, i)
+}
+
+func leaksThroughHelpers(c *core.Ctx, i int) float64 {
+	v, ref := ipGet2(c, i) // want pairdiscipline "does not reach"
+	_ = ref
+	return v[0]
+}
+
+func leaksOnEarlyReturn(c *core.Ctx, i int, skip bool) float64 {
+	v, ref := ipGet(c, i) // want pairdiscipline "does not reach"
+	if skip {
+		return 0 // leaves the borrow open
+	}
+	s := v[0]
+	ref.Release()
+	return s
+}
+
+// A name held in a local still matches: the alias, not the text of the
+// expression, decides the pairing — closing a different alias is the
+// mismatch.
+func aliasMismatch(c *core.Ctx, i int) {
+	a := core.N1(iptag, i)
+	b := core.N1(iptag, i+1)
+	v := c.BeginUseValue(a).(pack.Float64s) // want pairdiscipline "not matched by EndUseValue"
+	_ = v[0]
+	c.EndUseValue(b)
+}

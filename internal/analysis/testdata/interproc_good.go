@@ -1,0 +1,46 @@
+package testdata
+
+import (
+	"samsys/internal/core"
+	"samsys/internal/pack"
+)
+
+const ipgtag = 9
+
+// Interprocedural borrows done right: open through two helpers, close
+// through a helper, alias the name through locals — all clean.
+
+func ipgGet(c *core.Ctx, i int) (pack.Float64s, core.ValueRef) {
+	return core.Use[pack.Float64s](c, core.N1(ipgtag, i))
+}
+
+func ipgGet2(c *core.Ctx, i int) (pack.Float64s, core.ValueRef) {
+	return ipgGet(c, i)
+}
+
+func ipgPut(ref core.ValueRef) {
+	ref.Release()
+}
+
+func usesThroughHelpers(c *core.Ctx, i int) float64 {
+	v, ref := ipgGet2(c, i)
+	s := v[0]
+	ref.Release()
+	return s
+}
+
+func closesThroughHelper(c *core.Ctx, i int) float64 {
+	v, ref := ipgGet(c, i)
+	s := v[0]
+	ipgPut(ref)
+	return s
+}
+
+// The same local name alias on both halves of the pair.
+func aliasedNames(c *core.Ctx, i int) float64 {
+	nm := core.N1(ipgtag, i)
+	v := c.BeginUseValue(nm).(pack.Float64s)
+	s := v[0]
+	c.EndUseValue(nm)
+	return s
+}

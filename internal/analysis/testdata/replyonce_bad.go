@@ -1,0 +1,65 @@
+package testdata
+
+// replyonce needs no SAM imports: the roots and the reply primitive
+// are marked with directives, and the request type is whatever named
+// type "Req" the replyonce roots take.
+
+type Req struct {
+	ID uint64
+	Op uint8
+}
+
+type Resp struct {
+	ID uint64
+	OK bool
+}
+
+type roSrv struct{ out []Resp }
+
+// The reply primitive: each call answers the request mentioned in its
+// arguments.
+//
+//samlint:reply
+func (s *roSrv) reply(r Resp) { s.out = append(s.out, r) }
+
+// Missing reply on the fall-through path.
+//
+//samlint:replyonce
+func (s *roSrv) execDrops(req Req) {
+	if req.Op == 0 {
+		s.reply(Resp{ID: req.ID, OK: true})
+		return
+	}
+	s.out = s.out[:0]
+} // want replyonce "without a reply"
+
+// Double reply on the Op==1 path.
+//
+//samlint:replyonce
+func (s *roSrv) execDouble(req Req) {
+	s.reply(Resp{ID: req.ID})
+	if req.Op == 1 {
+		s.reply(Resp{ID: req.ID, OK: true}) // want replyonce "more than once"
+	}
+}
+
+// Declared replyonce but no reply anywhere.
+//
+//samlint:replyonce
+func (s *roSrv) execSilent(req Req) { // want replyonce "no path sends a reply"
+	_ = req.Op
+}
+
+// The obligation follows the request into helpers: the deficient exit
+// is reported in the helper, once — the dispatching root inherits the
+// healed summary and stays quiet.
+func (s *roSrv) handleOdd(req Req) {
+	if req.Op%2 == 1 {
+		s.reply(Resp{ID: req.ID, OK: true})
+	}
+} // want replyonce "without a reply"
+
+//samlint:replyonce
+func (s *roSrv) execDispatch(req Req) {
+	s.handleOdd(req)
+}

@@ -1,0 +1,61 @@
+package testdata
+
+import "samsys/internal/core"
+
+const rogtag = 7
+
+type Req struct {
+	ID uint64
+	Op uint8
+}
+
+type Resp struct {
+	ID uint64
+	OK bool
+}
+
+type rogSrv struct {
+	out   []Resp
+	waitQ []Req
+}
+
+//samlint:reply
+func (s *rogSrv) reply(r Resp) { s.out = append(s.out, r) }
+
+// Every path answers exactly once, including early rejects.
+//
+//samlint:replyonce
+func (s *rogSrv) exec(c *core.Ctx, req Req) {
+	if req.Op > 3 {
+		s.reply(Resp{ID: req.ID})
+		return
+	}
+	s.dispatch(c, req)
+}
+
+// Helpers inherit the obligation through the request parameter and
+// satisfy it on every branch.
+func (s *rogSrv) dispatch(c *core.Ctx, req Req) {
+	switch req.Op {
+	case 0:
+		s.reply(Resp{ID: req.ID, OK: true})
+	case 1:
+		// The reply fires when the asynchronous fetch completes; the
+		// callback settles the obligation for this path.
+		c.FetchValueAsync(core.N1(rogtag, 0), func(it core.Item) {
+			_ = it
+			s.reply(Resp{ID: req.ID, OK: true})
+		})
+	case 2:
+		// Queued: answered when the queue pumps. The justified
+		// suppression settles the path for callers too.
+		s.waitQ = append(s.waitQ, req)
+		//samlint:ignore replyonce queued: the reply is sent when the queue pumps
+		return
+	default:
+		s.reply(Resp{ID: req.ID})
+	}
+}
+
+// A pure inspector of a request carries no obligation.
+func (s *rogSrv) opOf(req Req) uint8 { return req.Op }

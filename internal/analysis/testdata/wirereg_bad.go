@@ -1,0 +1,56 @@
+package testdata
+
+import (
+	"samsys/internal/fabric"
+	"samsys/internal/wire"
+)
+
+// Payload types without a wire.Register codec: fine on the simulated
+// fabric, a panic the first time a run crosses a real network.
+
+type unregMsg struct {
+	Step int
+	Val  float64
+}
+
+type otherMsg struct {
+	N int
+}
+
+type regMsg struct {
+	N int
+}
+
+func init() {
+	wire.Register("td.reg",
+		func(e *wire.Encoder, m regMsg) { e.Int(m.N) },
+		func(d *wire.Decoder) regMsg { return regMsg{N: d.Int()} })
+}
+
+func broadcast(fc fabric.Ctx, step int) {
+	for dst := 0; dst < fc.N(); dst++ {
+		if dst == fc.Node() {
+			continue
+		}
+		fc.Send(dst, 16, unregMsg{Step: step, Val: 1}) // want wirereg "unregMsg"
+		fc.Send(dst, 8, regMsg{N: step})               // registered above: clean
+	}
+}
+
+// The payload flows through an interface-typed parameter; the summary
+// carries the obligation to the call site, where the concrete type is
+// known.
+func forward(fc fabric.Ctx, payload any) {
+	fc.Send(0, 8, payload)
+}
+
+func sendsViaHelper(fc fabric.Ctx) {
+	forward(fc, otherMsg{N: 1}) // want wirereg "otherMsg"
+	forward(fc, regMsg{N: 2})   // registered: clean
+}
+
+// Marshal and Encoder.Any are the same wire boundary.
+func packs(buf *wire.Encoder) {
+	_ = wire.Marshal(unregMsg{}) // deduplicated with the Send above
+	buf.Any(otherMsg{N: 3})      // deduplicated with the helper call above
+}

@@ -1,0 +1,43 @@
+package testdata
+
+import (
+	"samsys/internal/fabric"
+	"samsys/internal/wire"
+)
+
+// Every payload that reaches the wire has a codec: nothing is flagged.
+
+type boxMsg struct {
+	Lo, Hi float64
+}
+
+type fragMsg struct {
+	N int
+}
+
+func init() {
+	wire.Register("td.box",
+		func(e *wire.Encoder, m boxMsg) { e.Float64(m.Lo); e.Float64(m.Hi) },
+		func(d *wire.Decoder) boxMsg { return boxMsg{Lo: d.Float64(), Hi: d.Float64()} })
+	wire.Register("td.frag",
+		func(e *wire.Encoder, m fragMsg) { e.Int(m.N) },
+		func(d *wire.Decoder) fragMsg { return fragMsg{N: d.Int()} })
+}
+
+func exchange(fc fabric.Ctx) {
+	for dst := 0; dst < fc.N(); dst++ {
+		if dst == fc.Node() {
+			continue
+		}
+		fc.Send(dst, 16, boxMsg{Lo: 0, Hi: 1})
+	}
+}
+
+func relay(fc fabric.Ctx, payload any) {
+	fc.Send(0, 8, payload)
+}
+
+func sendsRegistered(fc fabric.Ctx) {
+	relay(fc, fragMsg{N: 4})
+	_ = wire.Marshal(boxMsg{})
+}

@@ -1,0 +1,85 @@
+package barneshut
+
+import (
+	"samsys/internal/octlib"
+	"samsys/internal/wire"
+)
+
+// Wire registration of the message-passing exchange payloads, so RunMP
+// works across OS processes on the netfab fabric. Without codecs the
+// fabric panics encoding the first box broadcast (samlint's wirereg
+// check caught exactly that).
+
+func encVec3(e *wire.Encoder, v octlib.Vec3) {
+	e.Float64(v[0])
+	e.Float64(v[1])
+	e.Float64(v[2])
+}
+
+func decVec3(d *wire.Decoder) octlib.Vec3 {
+	return octlib.Vec3{d.Float64(), d.Float64(), d.Float64()}
+}
+
+func init() {
+	wire.Register("bh.box",
+		func(e *wire.Encoder, m mpBoxMsg) {
+			e.Int(m.step)
+			e.Int(m.from)
+			encVec3(e, m.box.Min)
+			e.Float64(m.box.Size)
+		},
+		func(d *wire.Decoder) mpBoxMsg {
+			return mpBoxMsg{
+				step: d.Int(),
+				from: d.Int(),
+				box:  octlib.Bounds{Min: decVec3(d), Size: d.Float64()},
+			}
+		})
+	wire.Register("bh.frag",
+		func(e *wire.Encoder, m mpFragMsg) {
+			e.Int(m.step)
+			e.Int(m.from)
+			e.Uvarint(uint64(len(m.frag)))
+			for _, n := range m.frag {
+				e.Float64(n.Mass)
+				encVec3(e, n.COM)
+				e.Float64(n.Size)
+				e.Bool(n.Leaf)
+				e.Uvarint(uint64(len(n.Bodies)))
+				for _, b := range n.Bodies {
+					e.Varint(int64(b.ID))
+					e.Float64(b.Mass)
+					encVec3(e, b.Pos)
+				}
+				for _, c := range n.Children {
+					e.Varint(int64(c))
+				}
+			}
+		},
+		func(d *wire.Decoder) mpFragMsg {
+			m := mpFragMsg{step: d.Int(), from: d.Int()}
+			// Minimum encoded sizes, not the in-memory fragNodeBytes: a
+			// leaf with no bodies is mass+com+size+leaf+len+8 children
+			// varints = 50 bytes; a body is id+mass+pos >= 33 bytes.
+			cnt := d.Len(50)
+			m.frag = make([]fragNode, cnt)
+			for i := range m.frag {
+				n := &m.frag[i]
+				n.Mass = d.Float64()
+				n.COM = decVec3(d)
+				n.Size = d.Float64()
+				n.Leaf = d.Bool()
+				nb := d.Len(33)
+				n.Bodies = make([]octlib.Body, nb)
+				for j := range n.Bodies {
+					n.Bodies[j].ID = int32(d.Varint())
+					n.Bodies[j].Mass = d.Float64()
+					n.Bodies[j].Pos = decVec3(d)
+				}
+				for c := range n.Children {
+					n.Children[c] = int32(d.Varint())
+				}
+			}
+			return m
+		})
+}

@@ -92,6 +92,7 @@ func Run(fab fabric.Fabric, opts core.Options, cfg Config) (*Result, error) {
 			basis := make([]*Poly, n)
 			refs := make([]core.ValueRef, n)
 			for i := int64(0); i < n; i++ {
+				//samlint:ignore pairdiscipline every ref is released through the refs slice below; per-variable tracking cannot see slice elements
 				it, ref := set.Get(c, i)
 				basis[i], refs[i] = it.(Item).P, ref
 			}

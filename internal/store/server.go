@@ -264,6 +264,8 @@ func (s *Server) ev(kind trace.Kind, name core.Name, aux, aux2 int64) {
 }
 
 // reply accounts and sends one response.
+//
+//samlint:reply
 func (s *Server) reply(sc *srvConn, tc *stats.TenantCounters, r Resp) {
 	tc.BytesOut += int64(sc.send(r))
 }
@@ -274,7 +276,13 @@ func (s *Server) reject(sc *srvConn, tc *stats.TenantCounters, req Req, rej uint
 	s.reply(sc, tc, Resp{ID: req.ID, Err: msg, Rej: rej, Home: home})
 }
 
-// exec runs one decoded request on the application process.
+// exec runs one decoded request on the application process. It runs on
+// the SAM serving loop, so it must never park the process, and every
+// request must be answered exactly once — queued requests are answered
+// when the queue pumps or the session dies.
+//
+//samlint:nonblocking
+//samlint:replyonce
 func (s *Server) exec(c *core.Ctx, sc *srvConn, req Req, nbytes int) {
 	tc := s.tenant(req.Tenant)
 	tc.BytesIn += int64(nbytes)
@@ -324,6 +332,11 @@ func (s *Server) exec(c *core.Ctx, sc *srvConn, req Req, nbytes int) {
 		s.opRename(c, sc, tc, req, sess)
 	case OpList:
 		s.opList(sc, tc, req, sess)
+	default:
+		// Unreachable: the opcode range check above covers every case.
+		// Kept so a new opcode added to the protocol without a handler
+		// rejects instead of silently never replying.
+		s.reject(sc, tc, req, RejBadRequest, -1, "unhandled opcode")
 	}
 }
 
@@ -393,7 +406,6 @@ func (s *Server) closeSession(c *core.Ctx, sess *session, explicit bool) {
 			// and performs the convert-and-destroy.
 		default:
 			nm := name
-			//samlint:ignore ctxleak callback runs on the app goroutine (polling model)
 			c.AcquireAccumAsync(nm, func(core.Item) { s.destroyHeldAccum(c, nm) })
 		}
 		tc.LiveBytes -= obj.size
@@ -410,6 +422,7 @@ func (s *Server) closeSession(c *core.Ctx, sess *session, explicit bool) {
 // destroyHeldAccum reclaims an accumulator this rank currently holds the
 // exclusive borrow on.
 func (s *Server) destroyHeldAccum(c *core.Ctx, name core.Name) {
+	//samlint:ignore deprecatedapi async grant delivers no handle; End* is the only close for a borrow spanning events
 	c.EndUpdateAccumToValue(name, core.UsesUnlimited)
 	c.DestroyValue(name)
 }
@@ -475,7 +488,6 @@ func (s *Server) opUse(c *core.Ctx, sc *srvConn, tc *stats.TenantCounters, req R
 	c.FetchValueAsync(name, func(it core.Item) {
 		val := append([]float64(nil), it.(pack.Float64s)...)
 		if finite {
-			//samlint:ignore ctxleak polling model: the callback runs on the app goroutine, where Ctx calls are legal
 			c.DoneValue(name, 1)
 		}
 		tc.Uses++
@@ -500,6 +512,7 @@ func (s *Server) opAcquireFamily(c *core.Ctx, sc *srvConn, tc *stats.TenantCount
 	}
 	if obj.busy {
 		obj.waitQ = append(obj.waitQ, pendingOp{sc: sc, req: req})
+		//samlint:ignore replyonce queued: the reply is sent when release pumps the wait queue or the session closes
 		return
 	}
 	s.startAcquire(c, sess, obj, sc, req)
@@ -510,23 +523,31 @@ func (s *Server) opAcquireFamily(c *core.Ctx, sc *srvConn, tc *stats.TenantCount
 func (s *Server) startAcquire(c *core.Ctx, sess *session, obj *objInfo, sc *srvConn, req Req) {
 	name := ObjName(req.Tenant, req.Tag, req.X, req.Y)
 	obj.busy = true
-	//samlint:ignore ctxleak callback runs on the app goroutine (polling model)
 	c.AcquireAccumAsync(name, func(it core.Item) {
+		tc := s.tenant(req.Tenant)
 		if sess.closed {
+			// The session died while the acquisition was in flight. The
+			// closeSession sweep only rejects requests still in waitQ; this
+			// one had already been dequeued, so answer it here or the
+			// client waits forever.
 			s.destroyHeldAccum(c, name)
+			s.reject(sc, tc, req, RejNoSession, -1, "session closed")
 			return
 		}
-		tc := s.tenant(req.Tenant)
 		item := it.(pack.Float64s)
 		if sc.gone {
 			// Client vanished between queue and grant: commit unchanged.
+			// No reply — the writer is shut and any frame would be dropped.
+			//samlint:ignore deprecatedapi async grant delivers no handle; End* is the only close for a borrow spanning events
 			c.EndUpdateAccum(name)
 			s.release(c, sess, obj)
+			//samlint:ignore replyonce client disconnected; the writer is shut and any frame would be dropped
 			return
 		}
 		switch req.Op {
 		case OpUpdate:
 			if len(req.Val) != len(item) {
+				//samlint:ignore deprecatedapi async grant delivers no handle; End* is the only close for a borrow spanning events
 				c.EndUpdateAccum(name)
 				s.reject(sc, tc, req, RejBadRequest, -1,
 					fmt.Sprintf("length mismatch: accumulator has %d elements, update has %d", len(item), len(req.Val)))
@@ -537,6 +558,7 @@ func (s *Server) startAcquire(c *core.Ctx, sess *session, obj *objInfo, sc *srvC
 				item[i] += v
 			}
 			val := append([]float64(nil), item...)
+			//samlint:ignore deprecatedapi async grant delivers no handle; End* is the only close for a borrow spanning events
 			c.EndUpdateAccum(name)
 			tc.Updates++
 			s.reply(sc, tc, Resp{ID: req.ID, OK: true, Val: val})
@@ -548,6 +570,14 @@ func (s *Server) startAcquire(c *core.Ctx, sess *session, obj *objInfo, sc *srvC
 			s.reply(sc, tc, Resp{ID: req.ID, OK: true,
 				Val: append([]float64(nil), item...)})
 			// The borrow stays open until OpCommit or disconnect.
+		default:
+			// Unreachable: only opAcquireFamily enqueues, and it only sees
+			// OpUpdate and OpAcquire. Reject rather than leave the grant
+			// open and the client unanswered if that ever changes.
+			//samlint:ignore deprecatedapi async grant delivers no handle; End* is the only close for a borrow spanning events
+			c.EndUpdateAccum(name)
+			s.reject(sc, tc, req, RejBadRequest, -1, "unhandled opcode in acquire queue")
+			s.release(c, sess, obj)
 		}
 	})
 }
@@ -582,12 +612,14 @@ func (s *Server) opCommit(c *core.Ctx, sc *srvConn, tc *stats.TenantCounters, re
 	}
 	// The grant callback left the borrow open on obj.held; finish it here.
 	if len(req.Val) != len(obj.held) {
+		//samlint:ignore deprecatedapi the grant opened in the acquire callback; no handle spans the two events
 		c.EndUpdateAccum(name)
 		s.reject(sc, tc, req, RejBadRequest, -1, "length mismatch on commit")
 		s.release(c, sess, obj)
 		return
 	}
 	copy(obj.held, req.Val)
+	//samlint:ignore deprecatedapi the grant opened in the acquire callback; no handle spans the two events
 	c.EndUpdateAccum(name)
 	tc.Commits++
 	s.reply(sc, tc, Resp{ID: req.ID, OK: true})
@@ -605,7 +637,6 @@ func (s *Server) opReadChaotic(c *core.Ctx, sc *srvConn, tc *stats.TenantCounter
 		s.reject(sc, tc, req, RejKind, -1, "chaotic read of a value")
 		return
 	}
-	//samlint:ignore ctxleak callback runs on the app goroutine (polling model)
 	c.FetchChaoticAsync(name, func(it core.Item) {
 		tc.Chaotic++
 		s.reply(sc, tc, Resp{ID: req.ID, OK: true,
@@ -642,7 +673,6 @@ func (s *Server) opRename(c *core.Ctx, sc *srvConn, tc *stats.TenantCounters, re
 		newUses = core.UsesUnlimited
 	}
 	obj.renaming = true
-	//samlint:ignore ctxleak callback runs on the app goroutine (polling model)
 	c.RenameValueAsync(old, nw, newUses, func(it core.Item) {
 		item := it.(pack.Float64s)
 		n := len(req.Val)
@@ -739,6 +769,7 @@ func (s *Server) disconnect(c *core.Ctx, sc *srvConn) {
 	for sess := range sc.sessions {
 		for name, obj := range sess.objs {
 			if obj.holder == sc {
+				//samlint:ignore deprecatedapi the grant opened in the acquire callback; no handle spans the two events
 				c.EndUpdateAccum(name)
 				s.release(c, sess, obj)
 			}
