@@ -1,12 +1,14 @@
 // Command sambench runs the SAM hot-path benchmarks (Cholesky,
-// Barnes-Hut and Gröbner on gofab, plus an in-process netfab Cholesky)
-// and writes the measurements as JSON. It is the producer of the
-// committed BENCH_5.json trajectory and the regression gate CI runs
-// against it.
+// Barnes-Hut and Gröbner on gofab; Cholesky and an accumulator-migration
+// microbenchmark on in-process netfab, shmfab and a hybrid shm+TCP
+// cluster) and writes the measurements as JSON. It is the producer of the
+// committed BENCH_8.json trajectory and the regression gate CI runs
+// against it. Shared-memory rows are skipped automatically on platforms
+// without a usable shm directory.
 //
 //	sambench -preset smoke -out bench.json            # measure
-//	sambench -preset smoke -check BENCH_5.json        # gate (CI)
-//	sambench -out BENCH_5.json -baseline old.json     # embed pre-PR run
+//	sambench -preset smoke -check BENCH_8.json        # gate (CI)
+//	sambench -out BENCH_8.json -baseline old.json     # embed pre-PR run
 package main
 
 import (

@@ -1,9 +1,16 @@
 // Command samnode runs one SAM node — or launches a whole cluster — on
-// the netfab TCP fabric, putting a paper application across OS processes.
+// the netfab fabric, putting a paper application across OS processes.
 //
 // Spawn an N-process localhost cluster (the parent only orchestrates):
 //
 //	samnode -app cholesky -n 4
+//
+// With -fabric shm, co-located ranks (same hostname) exchange data over
+// shared-memory lanes instead of TCP sockets; cross-host ranks keep TCP,
+// so the same flag serves a single-host cluster and a hybrid multi-host
+// one. The bootstrap, control plane and crash teardown stay on TCP:
+//
+//	samnode -app cholesky -n 4 -fabric shm
 //
 // Or join a cluster one process at a time. Rank 0 is the rendezvous node
 // and must listen on an address the others can name:
@@ -63,6 +70,8 @@ var (
 	rank        = flag.Int("rank", -1, "rank to join as; -1 spawns the whole cluster locally")
 	rendezvous  = flag.String("rendezvous", "", "address of rank 0's listener (required for rank > 0)")
 	listen      = flag.String("listen", "", "listen address (rank 0 should pick a port peers can name)")
+	fabricName  = flag.String("fabric", "tcp", "data-link transport: tcp | shm (shm lanes between co-located ranks, TCP across hosts)")
+	shmDir      = flag.String("shm-dir", "", "directory for this rank's shm lane segments (default shmfab's, typically /dev/shm)")
 	profName    = flag.String("profile", "cm5", "machine profile for cost accounting")
 	bootTimeout = flag.Duration("boot-timeout", 30*time.Second, "bootstrap and dial timeout")
 	linkRetry   = flag.Duration("link-retry", 0, "data-link outage budget before the fabric fails (0 = netfab default)")
@@ -98,17 +107,29 @@ func run() error {
 	return joinAndRun()
 }
 
-// fabricOptions folds the timeout flags into netfab.Options; zero flag
-// values leave the library defaults in force.
-func fabricOptions() netfab.Options {
-	return netfab.Options{
+// fabricOptions folds the timeout and transport flags into
+// netfab.Options; zero flag values leave the library defaults in force.
+func fabricOptions() (netfab.Options, error) {
+	o := netfab.Options{
 		Boot:           *bootTimeout,
 		LinkRetry:      *linkRetry,
 		Write:          *writeTO,
 		DrainQuiet:     *drainQuiet,
 		DialBackoff:    *dialBackoff,
 		DialBackoffMax: *dialBackMax,
+		ShmDir:         *shmDir,
 	}
+	switch *fabricName {
+	case "tcp":
+	case "shm":
+		// ShmAuto pairs ranks by hostname: co-located ranks get shm
+		// lanes, cross-host ranks keep TCP, so the same flag works for a
+		// single-host cluster and a multi-host one.
+		o.Shm = netfab.ShmAuto
+	default:
+		return o, fmt.Errorf("unknown -fabric %q (want tcp or shm)", *fabricName)
+	}
+	return o, nil
 }
 
 // joinAndRun joins the cluster as one rank and runs the application.
@@ -117,12 +138,16 @@ func joinAndRun() error {
 	if err != nil {
 		return err
 	}
+	fabOpts, err := fabricOptions()
+	if err != nil {
+		return err
+	}
 	fab, err := netfab.Join(netfab.Config{
 		Rank: *rank, N: *nNodes,
 		Rendezvous: *rendezvous,
 		Listen:     *listen,
 		Profile:    prof,
-		Opts:       fabricOptions(),
+		Opts:       fabOpts,
 	})
 	if err != nil {
 		return err
@@ -284,9 +309,13 @@ func spawnCluster() error {
 	if err != nil {
 		return err
 	}
+	if _, err := fabricOptions(); err != nil {
+		return err // reject a bad -fabric before forking N children
+	}
 	common := []string{
 		"-app", *appName,
 		"-n", fmt.Sprint(*nNodes),
+		"-fabric", *fabricName,
 		"-profile", *profName,
 		"-boot-timeout", bootTimeout.String(),
 		"-link-retry", linkRetry.String(),
@@ -300,6 +329,9 @@ func spawnCluster() error {
 		// argument would be taken as the first positional and stop
 		// flag parsing in the child.
 		"-push=" + fmt.Sprint(*push),
+	}
+	if *shmDir != "" {
+		common = append(common, "-shm-dir", *shmDir)
 	}
 	if *tracePrefix != "" {
 		common = append(common, "-trace", *tracePrefix)

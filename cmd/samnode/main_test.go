@@ -14,7 +14,9 @@ import (
 	"samsys/internal/apps/sparse"
 	"samsys/internal/core"
 	"samsys/internal/fabric/gofab"
+	"samsys/internal/fabric/shmfab"
 	"samsys/internal/machine"
+	"samsys/internal/trace"
 )
 
 // TestMain lets the test binary stand in for the samnode binary: when
@@ -122,6 +124,114 @@ func TestCholeskyMatchesGofab(t *testing.T) {
 	}
 	if diff > 1e-8 {
 		t.Fatalf("netfab and gofab factors differ by %g (tolerance 1e-8)", diff)
+	}
+}
+
+// countTransportSends loads the per-rank trace dumps and counts data
+// sends by transport: shm-lane sends vs TCP sends.
+func countTransportSends(t *testing.T, prefix string, n int) (shm, tcp int) {
+	t.Helper()
+	for k := 0; k < n; k++ {
+		f, err := os.Open(fmt.Sprintf("%s-rank%d.jsonl", prefix, k))
+		if err != nil {
+			t.Fatalf("open trace dump: %v", err)
+		}
+		events, err := trace.ReadDump(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("read trace dump: %v", err)
+		}
+		for _, ev := range events {
+			switch ev.Kind {
+			case trace.EvShmSend:
+				shm++
+			case trace.EvMsgSend:
+				tcp++
+			}
+		}
+	}
+	return shm, tcp
+}
+
+// TestCounterShmAcrossProcesses runs the counter on a 2-process cluster
+// with -fabric shm: the ranks share a hostname, so every data message
+// must ride a shared-memory lane — the dumps must show shm sends and no
+// TCP data sends — while the offline FIFO/conservation replay still
+// passes across the mixed event kinds.
+func TestCounterShmAcrossProcesses(t *testing.T) {
+	if !shmfab.Available("") {
+		t.Skip("shm lanes unavailable on this platform")
+	}
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "ctr")
+	out := runSamnode(t, 2*time.Minute,
+		"-app", "counter", "-n", "2", "-fabric", "shm", "-trace", prefix)
+	if !strings.Contains(out, "counter ok: 200 increments across 2 processes") {
+		t.Fatalf("counter did not report success:\n%s", out)
+	}
+	if !strings.Contains(out, "trace ok") {
+		t.Fatalf("trace replay did not report success:\n%s", out)
+	}
+	shm, tcp := countTransportSends(t, prefix, 2)
+	if shm == 0 {
+		t.Error("no shm-lane sends in the dumps; -fabric shm fell back to TCP")
+	}
+	if tcp != 0 {
+		t.Errorf("%d TCP data sends between co-located ranks; want all traffic on shm lanes", tcp)
+	}
+}
+
+// TestCholeskyShmMatchesGofab factors the same grid problem on a
+// 4-process -fabric shm cluster and on gofab in-process, and checks the
+// collected factors agree to tolerance — the cross-process equivalence
+// check for the shared-memory data path.
+func TestCholeskyShmMatchesGofab(t *testing.T) {
+	if !shmfab.Available("") {
+		t.Skip("shm lanes unavailable on this platform")
+	}
+	const (
+		grid  = 10
+		block = 4
+	)
+	dir := t.TempDir()
+	lpath := filepath.Join(dir, "L-shm.json")
+	prefix := filepath.Join(dir, "chol")
+	out := runSamnode(t, 3*time.Minute,
+		"-app", "cholesky", "-n", "4", "-fabric", "shm",
+		"-grid", "10", "-block", "4",
+		"-trace", prefix, "-dump-l", lpath)
+	if !strings.Contains(out, "cholesky ok") {
+		t.Fatalf("cholesky did not report success:\n%s", out)
+	}
+	if !strings.Contains(out, "trace ok") {
+		t.Fatalf("trace replay did not report success:\n%s", out)
+	}
+	if shm, tcp := countTransportSends(t, prefix, 4); shm == 0 || tcp != 0 {
+		t.Errorf("transport split %d shm / %d tcp sends; want all data on shm lanes", shm, tcp)
+	}
+
+	f, err := os.Open(lpath)
+	if err != nil {
+		t.Fatalf("open dumped factor: %v", err)
+	}
+	got, err := cholesky.ReadL(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("read dumped factor: %v", err)
+	}
+	m := sparse.Grid2D(grid, grid)
+	ref, err := cholesky.Run(gofab.New(machine.CM5, 4), core.Options{}, cholesky.Config{
+		Matrix: m, BlockSize: block, Collect: true,
+	})
+	if err != nil {
+		t.Fatalf("gofab reference run: %v", err)
+	}
+	diff, err := cholesky.MaxBlockDiff(got, ref.L)
+	if err != nil {
+		t.Fatalf("factor structures differ: %v", err)
+	}
+	if diff > 1e-8 {
+		t.Fatalf("shm and gofab factors differ by %g (tolerance 1e-8)", diff)
 	}
 }
 

@@ -44,6 +44,8 @@ var (
 	rank       = flag.Int("rank", -1, "rank to join as; -1 spawns the whole cluster locally")
 	rendezvous = flag.String("rendezvous", "", "address of rank 0's listener (required for rank > 0)")
 	listen     = flag.String("listen", "", "listen address (rank 0 should pick a port peers can name)")
+	fabricName = flag.String("fabric", "tcp", "data-link transport: tcp | shm (shm lanes between co-located ranks, TCP across hosts)")
+	shmDir     = flag.String("shm-dir", "", "directory for this rank's shm lane segments (default shmfab's, typically /dev/shm)")
 	profName   = flag.String("profile", "cm5", "machine profile for cost accounting")
 	runFor     = flag.Duration("run-for", 0, "serve for this long then shut down (0 = until SIGINT)")
 	statsEvery = flag.Duration("stats", 0, "print per-tenant counters at this interval (0 = only at exit)")
@@ -75,15 +77,24 @@ func run() error {
 	return joinAndServe()
 }
 
-func fabricOptions() netfab.Options {
-	return netfab.Options{
+func fabricOptions() (netfab.Options, error) {
+	o := netfab.Options{
 		Boot:           *bootTimeout,
 		LinkRetry:      *linkRetry,
 		Write:          *writeTO,
 		DrainQuiet:     *drainQuiet,
 		DialBackoff:    *dialBackoff,
 		DialBackoffMax: *dialBackMax,
+		ShmDir:         *shmDir,
 	}
+	switch *fabricName {
+	case "tcp":
+	case "shm":
+		o.Shm = netfab.ShmAuto
+	default:
+		return o, fmt.Errorf("unknown -fabric %q (want tcp or shm)", *fabricName)
+	}
+	return o, nil
 }
 
 // joinAndServe joins as one rank and serves until shutdown.
@@ -92,12 +103,16 @@ func joinAndServe() error {
 	if err != nil {
 		return err
 	}
+	fabOpts, err := fabricOptions()
+	if err != nil {
+		return err
+	}
 	fab, err := netfab.Join(netfab.Config{
 		Rank: *rank, N: *nNodes,
 		Rendezvous: *rendezvous,
 		Listen:     *listen,
 		Profile:    prof,
-		Opts:       fabricOptions(),
+		Opts:       fabOpts,
 	})
 	if err != nil {
 		return err
@@ -182,8 +197,12 @@ func spawnCluster() error {
 	if err != nil {
 		return err
 	}
+	if _, err := fabricOptions(); err != nil {
+		return err // reject a bad -fabric before forking N children
+	}
 	common := []string{
 		"-n", fmt.Sprint(*nNodes),
+		"-fabric", *fabricName,
 		"-profile", *profName,
 		"-run-for", runFor.String(),
 		"-stats", statsEvery.String(),
@@ -196,6 +215,9 @@ func spawnCluster() error {
 		"-drain-quiet", drainQuiet.String(),
 		"-dial-backoff", dialBackoff.String(),
 		"-dial-backoff-max", dialBackMax.String(),
+	}
+	if *shmDir != "" {
+		common = append(common, "-shm-dir", *shmDir)
 	}
 	var mu sync.Mutex
 	cmds := make([]*exec.Cmd, *nNodes)

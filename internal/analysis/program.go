@@ -30,6 +30,7 @@ import (
 const (
 	fabricPkgPath = "samsys/internal/fabric"
 	wirePkgPath   = "samsys/internal/wire"
+	shmfabPkgPath = "samsys/internal/fabric/shmfab"
 )
 
 // Program is the whole-invocation view over a set of root packages.
@@ -698,16 +699,23 @@ func (prog *Program) borrowScan(pf *progFunc, sum *Summary) {
 // --- wire flow ---
 
 // wirePayloads returns the payload expressions call hands to the wire
-// layer: fabric Ctx.Send, (*wire.Encoder).Any, wire.Marshal, and
-// arguments flowing into a summarized callee's wire-bound parameters.
+// layer: fabric Ctx.Send, (*shmfab.SendLane).Send (an shm lane encodes
+// its payload with the same wire registry the TCP path uses, so an
+// unregistered type panics there just as surely), (*wire.Encoder).Any,
+// wire.Marshal, and arguments flowing into a summarized callee's
+// wire-bound parameters.
 func (prog *Program) wirePayloads(p *Pass, call *ast.CallExpr) []ast.Expr {
 	var out []ast.Expr
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		switch sel.Sel.Name {
 		case "Send":
-			if tv, ok := p.Pkg.Info.Types[sel.X]; ok && tv.Type != nil &&
-				isNamedType(tv.Type, fabricPkgPath, "Ctx") && len(call.Args) == 3 {
-				out = append(out, call.Args[2])
+			if tv, ok := p.Pkg.Info.Types[sel.X]; ok && tv.Type != nil && len(call.Args) == 3 {
+				switch {
+				case isNamedType(tv.Type, fabricPkgPath, "Ctx"):
+					out = append(out, call.Args[2])
+				case isNamedType(tv.Type, shmfabPkgPath, "SendLane"):
+					out = append(out, call.Args[1])
+				}
 			}
 		case "Any":
 			if tv, ok := p.Pkg.Info.Types[sel.X]; ok && tv.Type != nil &&

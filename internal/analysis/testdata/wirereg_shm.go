@@ -1,0 +1,46 @@
+package testdata
+
+import (
+	"samsys/internal/fabric/shmfab"
+	"samsys/internal/wire"
+)
+
+// An shm lane encodes payloads with the same wire registry the TCP path
+// uses: a type without a codec panics on the first lane send just as it
+// would on a socket, so wirereg treats (*shmfab.SendLane).Send as a wire
+// boundary.
+
+type laneMsg struct {
+	Seq int
+}
+
+type helperMsg struct {
+	N int
+}
+
+type laneReg struct {
+	Seq int
+}
+
+func init() {
+	wire.Register("td.lanereg",
+		func(e *wire.Encoder, m laneReg) { e.Int(m.Seq) },
+		func(d *wire.Decoder) laneReg { return laneReg{Seq: d.Int()} })
+}
+
+func pushLane(l *shmfab.SendLane, seq int) {
+	l.Send(8, laneMsg{Seq: seq}, func() {}) // want wirereg "laneMsg"
+	l.Send(8, laneReg{Seq: seq}, func() {}) // registered above: clean
+}
+
+// The payload flows through an interface-typed parameter; the summary
+// carries the obligation to the call site, exactly as with fabric
+// Ctx.Send helpers.
+func forwardLane(l *shmfab.SendLane, payload any) {
+	l.Send(8, payload, func() {})
+}
+
+func sendsLaneViaHelper(l *shmfab.SendLane) {
+	forwardLane(l, helperMsg{N: 1}) // want wirereg "helperMsg"
+	forwardLane(l, laneReg{Seq: 2}) // registered: clean
+}

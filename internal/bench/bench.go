@@ -1,10 +1,12 @@
 // Package bench is the hot-path benchmark harness behind cmd/sambench.
-// It runs the paper's three applications on the real-time fabrics (gofab,
-// and an in-process netfab cluster for the wire path) and measures what
-// the paper's Figures 10-11 say the runtime spends its time on: wall
-// clock, allocations, message and byte counts. Results serialize to JSON
-// (BENCH_5.json) so every PR has a committed trajectory to beat, and a
-// regression check compares a fresh run against a committed file.
+// It runs the paper's three applications on the real-time fabrics (gofab;
+// an in-process netfab cluster for the wire path; shmfab and a hybrid
+// shm+TCP cluster for the shared-memory path) plus an accumulator-
+// migration microbenchmark, and measures what the paper's Figures 10-11
+// say the runtime spends its time on: wall clock, allocations, message
+// and byte counts. Results serialize to JSON (BENCH_8.json) so every PR
+// has a committed trajectory to beat, and a regression check compares a
+// fresh run against a committed file.
 //
 // Each benchmark also performs one untimed verification run with the
 // trace recorder and the online protocol invariant checker attached, so
@@ -29,8 +31,10 @@ import (
 	"samsys/internal/fabric"
 	"samsys/internal/fabric/gofab"
 	"samsys/internal/fabric/netfab"
+	"samsys/internal/fabric/shmfab"
 	"samsys/internal/machine"
 	"samsys/internal/octlib"
+	"samsys/internal/pack"
 	"samsys/internal/sim"
 	"samsys/internal/stats"
 	"samsys/internal/trace"
@@ -66,7 +70,7 @@ type Result struct {
 	MetricName  string  `json:"metric_name,omitempty"`
 }
 
-// File is the serialized benchmark trajectory (BENCH_5.json).
+// File is the serialized benchmark trajectory (BENCH_8.json).
 type File struct {
 	Schema    string    `json:"schema"`
 	Preset    string    `json:"preset"`
@@ -127,6 +131,24 @@ func netfabFab(nodes int) func() (fabric.Fabric, error) {
 	return func() (fabric.Fabric, error) { return netfab.NewLocal(machine.CM5, nodes) }
 }
 
+func shmfabFab(nodes int) func() (fabric.Fabric, error) {
+	return func() (fabric.Fabric, error) { return shmfab.New(machine.CM5, nodes) }
+}
+
+// hybridFab is a loopback netfab cluster in shm mode with ranks split
+// across two simulated hosts: intra-host links ride shm lanes, cross-host
+// links real TCP — the mixed-transport configuration a multi-host
+// deployment with several ranks per host runs.
+func hybridFab(nodes int) func() (fabric.Fabric, error) {
+	hosts := make([]string, nodes)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("h%d", i*2/nodes)
+	}
+	return func() (fabric.Fabric, error) {
+		return netfab.NewLocal(machine.CM5, nodes, netfab.WithShm(netfab.ShmAuto), netfab.WithHosts(hosts))
+	}
+}
+
 // specs builds the benchmark list for a preset.
 func specs(p Preset) []spec {
 	type size struct {
@@ -171,12 +193,48 @@ func specs(p Preset) []spec {
 		}
 	}
 
+	// accRun is the accumulator-migration microbenchmark: every node
+	// hammers one large shared accumulator, so the runtime migrates the
+	// item around the cluster in a tight loop. The item is big enough that
+	// shm fabrics take the arena-handoff path on every hop, making this
+	// the most transport-bound workload in the harness — the row pair
+	// netfab/accum vs shmfab/accum is the direct wire-vs-shared-memory
+	// comparison.
+	accRun := func(elems, rounds int) func(fabric.Fabric, core.Options) (sim.Time, float64, string, error) {
+		return func(fab fabric.Fabric, o core.Options) (sim.Time, float64, string, error) {
+			w := core.NewWorld(fab, o)
+			err := w.Run(func(c *core.Ctx) {
+				acc := core.N1(9, 1)
+				if c.Node() == 0 {
+					c.CreateAccum(acc, make(pack.Float64s, elems))
+				}
+				c.Barrier()
+				for r := 0; r < rounds; r++ {
+					a, ref := core.Update[pack.Float64s](c, acc)
+					a[0]++
+					ref.Commit()
+				}
+				c.Barrier()
+			})
+			if err != nil {
+				return 0, 0, "", err
+			}
+			el := fab.Elapsed()
+			ups := float64(rounds*fab.N()) / (float64(el) / 1e9)
+			return el, ups, "updates/s", nil
+		}
+	}
+	accElems, accRounds := 4096, 200 // 32 KiB item, well past the inline cutoff
+	if p == Full {
+		accRounds = 500
+	}
+
 	cholMat := sparse.Grid3DStiff(sz.cholGrid, sz.cholGrid, sz.cholGrid, sz.cholSep)
 	cholMatNet := sparse.Grid3DStiff(5, 5, 5, 2)
 	bodies := octlib.RandomBodies(sz.bodies, 1)
 	gb := grobner.StandardInputs()[0]
 
-	return []spec{
+	ss := []spec{
 		{name: "gofab/cholesky", nodes: 8, iters: sz.iters,
 			run: cholRun(cholMat, sz.cholBlock), fab: gofabFab(8), opts: opts()},
 		{name: "gofab/barneshut", nodes: 8, iters: sz.iters,
@@ -188,7 +246,25 @@ func specs(p Preset) []spec {
 			unstable: true},
 		{name: "netfab/cholesky", nodes: 4, iters: sz.iters,
 			run: cholRun(cholMatNet, 8), fab: netfabFab(4), opts: opts()},
+		{name: "netfab/accum", nodes: 4, iters: sz.iters,
+			run: accRun(accElems, accRounds), fab: netfabFab(4), opts: opts()},
 	}
+	// Shared-memory rows run the same workloads as the netfab rows, so
+	// each shmfab/netfab pair is a like-for-like transport comparison.
+	// Skipped (not failed) where the platform has no usable shm dir, so
+	// the harness still runs everywhere; Check only gates rows present in
+	// the current run.
+	if shmfab.Available("") {
+		ss = append(ss,
+			spec{name: "shmfab/cholesky", nodes: 4, iters: sz.iters,
+				run: cholRun(cholMatNet, 8), fab: shmfabFab(4), opts: opts()},
+			spec{name: "shmfab/accum", nodes: 4, iters: sz.iters,
+				run: accRun(accElems, accRounds), fab: shmfabFab(4), opts: opts()},
+			spec{name: "hybrid/cholesky", nodes: 4, iters: sz.iters,
+				run: cholRun(cholMatNet, 8), fab: hybridFab(4), opts: opts()},
+		)
+	}
+	return ss
 }
 
 // Run executes the preset's benchmarks and returns the trajectory file.

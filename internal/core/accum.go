@@ -353,7 +353,9 @@ func (rt *nodeRT) handleAccData(fc fabric.Ctx, m msgAccData) {
 		if e.owner || e.kind != kindAccum {
 			rt.protoErr("accumulator data for %v collides with local state", m.name)
 		}
-		// Refresh the stale snapshot in place.
+		// Refresh the stale snapshot in place; the replaced item goes back
+		// to the transport in case it aliased an arena block.
+		rt.cache.releaseItem(e.item)
 		e.item = m.item
 		rt.cache.resize(e, m.size)
 		e.stale = false
@@ -519,6 +521,7 @@ func (rt *nodeRT) handleChaoticData(fc fabric.Ctx, m msgChaoticData) {
 	case e.owner || e.kind != kindAccum:
 		// We re-acquired (or converted) meanwhile; our copy is newer.
 	case m.version > e.version:
+		rt.cache.releaseItem(e.item)
 		e.item = m.item
 		rt.cache.resize(e, m.size)
 		e.version = m.version

@@ -121,6 +121,20 @@ type cache struct {
 	rec      *trace.Recorder // nil when tracing is disabled
 	node     int32
 	evicting bool // remove() called from evict(): record as eviction
+
+	// release, when set, hands a permanently dropped item back to the
+	// transport (fabric.PayloadReleaser): a shared-memory fabric may have
+	// delivered it as an alias into a payload arena whose block stays
+	// pinned until the runtime lets go. Nil on fabrics without
+	// transport-owned payloads; releasing a heap item is a cheap no-op.
+	release func(Item)
+}
+
+// releaseItem returns a dropped item to the transport, if one claims it.
+func (c *cache) releaseItem(it Item) {
+	if c.release != nil && it != nil {
+		c.release(it)
+	}
 }
 
 func newCache(capBytes int64) *cache {
@@ -200,6 +214,7 @@ func (c *cache) remove(e *entry) {
 	}
 	delete(c.entries, e.name)
 	c.used -= int64(e.size)
+	c.releaseItem(e.item)
 	if c.evicting {
 		c.ev(trace.EvCacheEvict, e.name, int64(e.size), c.used, 0)
 	} else {

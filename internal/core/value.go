@@ -150,10 +150,14 @@ func (c *Ctx) BeginRenameValue(old, new Name, uses int64) Item {
 	rt.renameWait[old] = &renameWaiter{ev: ev}
 	rt.send(c.fc, old.home(rt.n), smallMsgSize, msgRenameReq{name: old, from: rt.node})
 	c.rt.wait(c.fc, ev, stats.Stall)
-	// All uses have drained; recycle the storage under the new name.
+	// All uses have drained; recycle the storage under the new name. The
+	// item moves to the new entry, so it must not go back to the transport:
+	// detach it before remove.
+	item := e.item
+	e.item = nil
 	rt.cache.remove(e)
 	ne := &entry{
-		name: new, kind: kindValue, item: e.item, size: e.size,
+		name: new, kind: kindValue, item: item, size: e.size,
 		owner: true, creating: true, declaredUses: uses,
 	}
 	rt.cache.insert(ne)
@@ -441,9 +445,13 @@ func (rt *nodeRT) handleRenameOK(fc fabric.Ctx, m msgRenameOK) {
 	if e == nil || !e.owner {
 		rt.protoErr("rename grant for %v but the storage is gone", m.name)
 	}
+	// The storage is reborn under the new name: detach it so remove does
+	// not hand it back to the transport.
+	item := e.item
+	e.item = nil
 	rt.cache.remove(e)
 	ne := &entry{
-		name: w.newName, kind: kindValue, item: e.item, size: e.size,
+		name: w.newName, kind: kindValue, item: item, size: e.size,
 		owner: true, creating: true, declaredUses: w.uses,
 	}
 	rt.cache.insert(ne)

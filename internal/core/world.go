@@ -16,12 +16,21 @@ type World struct {
 	opts  Options
 	nodes []*nodeRT
 	ext   []*extQueue // per-rank externally submitted operations
+
+	// releaser is the fabric's payload-release hook, when it has one: a
+	// shared-memory fabric delivers large items as aliases into a mmap'd
+	// arena, and the runtime reports each permanently dropped item here so
+	// the sender can recycle the block.
+	releaser fabric.PayloadReleaser
 }
 
 // NewWorld creates the SAM runtime on the given fabric. It installs the
 // fabric's message handler, so the fabric must not have one already.
 func NewWorld(fab fabric.Fabric, opts Options) *World {
 	w := &World{fab: fab, opts: opts}
+	if pr, ok := fab.(fabric.PayloadReleaser); ok {
+		w.releaser = pr
+	}
 	n := fab.N()
 	if tr := opts.Trace; tr != nil {
 		tr.Emit(trace.Event{Node: 0, Kind: trace.EvWorldStart, Peer: -1, Aux: int64(n)})
@@ -120,6 +129,9 @@ func newNodeRT(w *World, node, n int) *nodeRT {
 		pendingChaotic:  make(map[Name][]int),
 		forwardedTo:     make(map[Name]int),
 		renameWait:      make(map[Name]*renameWaiter),
+	}
+	if pr := w.releaser; pr != nil {
+		rt.cache.release = func(it Item) { pr.ReleasePayload(node, it) }
 	}
 	// Until the app first calls NextTask it may still spawn seed tasks,
 	// so it counts as busy for termination detection.

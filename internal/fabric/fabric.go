@@ -64,6 +64,20 @@ type Event interface {
 	Done() bool
 }
 
+// PayloadReleaser is implemented by fabrics whose delivered payloads may
+// reference transport-owned storage — the shared-memory fabric's payload
+// arena, where a large value is handed to the receiver as an offset into a
+// mmap'd segment and the decoded item aliases that memory. The runtime
+// calls ReleasePayload when it permanently drops a delivered item (cache
+// reclaim, eviction, accumulator refresh) so the transport can recycle the
+// block. node is the receiving node; item is the dropped payload (or a
+// part of one). Releasing an item the transport does not own — anything
+// heap-allocated — must be a cheap no-op, so callers release
+// unconditionally.
+type PayloadReleaser interface {
+	ReleasePayload(node int, item any)
+}
+
 // Fabric is a cluster of nodes running one SPMD application.
 type Fabric interface {
 	// N returns the number of nodes.

@@ -156,6 +156,16 @@ func (f *Fab) SetTracer(r *trace.Recorder) {
 	}
 }
 
+// ReleasePayload forwards a dropped transport-owned payload to the inner
+// fabric, so arena-backed items keep flowing back to their lanes even
+// when the runtime sees the fault-injection wrapper instead of the real
+// fabric. A no-op when the inner fabric has no release hook.
+func (f *Fab) ReleasePayload(node int, item any) {
+	if pr, ok := f.inner.(fabric.PayloadReleaser); ok {
+		pr.ReleasePayload(node, item)
+	}
+}
+
 // Run runs app on the inner fabric with every context wrapped.
 func (f *Fab) Run(app func(c fabric.Ctx)) error {
 	return f.inner.Run(func(c fabric.Ctx) {

@@ -24,15 +24,24 @@ import (
 // Registration carries the wire registry hash (see wire.Hash): a cluster
 // whose processes were built with different registered type sets fails at
 // bootstrap instead of corrupting frames mid-run.
+//
+// It also carries the rank's shm advertisement — a host identity and a
+// segment directory (both empty when shm is off or unsupported). The
+// welcome echoes the full maps plus the boot id, and the existing
+// ready/go barrier doubles as the lane-creation barrier: every rank
+// creates its outbound lane segments before acking ready, so when frGo
+// releases the cluster every inbound segment already exists on disk.
 
 // registration is one decoded frRegister frame plus its connection.
 type registration struct {
-	conn net.Conn
-	br   *bufio.Reader
-	rank int
-	n    int
-	addr string
-	hash uint64
+	conn   net.Conn
+	br     *bufio.Reader
+	rank   int
+	n      int
+	addr   string
+	hash   uint64
+	host   string // shm host identity; empty when the rank has no shm
+	shmDir string // where the rank creates its outbound segments
 }
 
 // bootState carries the control-plane state that outlives bootstrap.
@@ -71,6 +80,8 @@ func (f *Fab) bootstrapRendezvous(deadline time.Time) error {
 	b := f.boot
 	b.ctrl = make([]net.Conn, f.n)
 	f.addrs[0] = f.ln.Addr().String()
+	f.bootID = newBootID()
+	f.hostIDs[0], f.shmDirs[0] = f.hostID, f.shmDir
 	if f.n == 1 {
 		close(f.ready) // no peers to wait for
 	}
@@ -94,6 +105,7 @@ func (f *Fab) bootstrapRendezvous(deadline time.Time) error {
 			}
 			b.ctrl[r.rank] = r.conn
 			f.addrs[r.rank] = r.addr
+			f.hostIDs[r.rank], f.shmDirs[r.rank] = r.host, r.shmDir
 			// The ready ack and later the done report arrive on this
 			// connection; one goroutine per peer consumes them.
 			go f.ctrlReadLoop(r.conn, r.br, r.rank)
@@ -101,12 +113,22 @@ func (f *Fab) bootstrapRendezvous(deadline time.Time) error {
 			return fmt.Errorf("netfab: bootstrap timeout: %d of %d peers registered", got, f.n-1)
 		}
 	}
+	// Rank 0's outbound lanes are created before the welcome goes out, so
+	// its co-located peers can open them as soon as frGo releases them.
+	if err := f.createShmLanes(); err != nil {
+		return err
+	}
 	welcome := ctrlFrame(frWelcome, func(e *wire.Encoder) {
 		e.Int(f.n)
 		for _, a := range f.addrs {
 			e.String(a)
 		}
 		e.Uvarint(wire.Hash())
+		e.String(f.bootID)
+		for i := 0; i < f.n; i++ {
+			e.String(f.hostIDs[i])
+			e.String(f.shmDirs[i])
+		}
 	})
 	for rank := 1; rank < f.n; rank++ {
 		if err := sendCtrl(b.ctrl[rank], welcome); err != nil {
@@ -127,7 +149,9 @@ func (f *Fab) bootstrapRendezvous(deadline time.Time) error {
 			return fmt.Errorf("netfab: go to rank %d: %w", rank, err)
 		}
 	}
-	return nil
+	// The ready barrier just completed, so every peer's outbound segments
+	// exist; open this rank's inbound lanes.
+	return f.openShmLanes()
 }
 
 // ctrlReadLoop consumes control frames from one peer on rank 0: the ready
@@ -219,6 +243,8 @@ func (f *Fab) bootstrapJoin(rendezvous string, deadline time.Time) error {
 		e.Int(f.n)
 		e.String(f.ln.Addr().String())
 		e.Uvarint(wire.Hash())
+		e.String(f.hostID)
+		e.String(f.shmDir)
 	})
 	if err := sendCtrl(conn, reg); err != nil {
 		return fmt.Errorf("netfab: register: %w", err)
@@ -241,11 +267,21 @@ func (f *Fab) bootstrapJoin(rendezvous string, deadline time.Time) error {
 		f.addrs[i] = d.String()
 	}
 	hash := d.Uvarint()
+	f.bootID = d.String()
+	for i := 0; i < f.n; i++ {
+		f.hostIDs[i] = d.String()
+		f.shmDirs[i] = d.String()
+	}
 	if d.Err() != nil {
 		return fmt.Errorf("netfab: bad welcome: %w", d.Err())
 	}
 	if hash != wire.Hash() {
 		return fmt.Errorf("netfab: wire registry hash mismatch with rendezvous (binaries differ)")
+	}
+	// Create outbound lane segments before acking ready: the barrier is
+	// what guarantees every segment exists before any rank opens or sends.
+	if err := f.createShmLanes(); err != nil {
+		return err
 	}
 	if err := sendCtrl(conn, ctrlFrame(frReady, nil)); err != nil {
 		return fmt.Errorf("netfab: ready: %w", err)
@@ -256,6 +292,11 @@ func (f *Fab) bootstrapJoin(rendezvous string, deadline time.Time) error {
 	}
 	if kind := wire.NewDecoder(body).Uint8(); kind != frGo {
 		return fmt.Errorf("netfab: expected go, got frame kind %d", kind)
+	}
+	// frGo means every rank passed the ready barrier, so every co-located
+	// peer's outbound segments exist; open this rank's inbound lanes.
+	if err := f.openShmLanes(); err != nil {
+		return err
 	}
 	conn.SetReadDeadline(time.Time{})
 	// From here the connection carries only the end-of-run barrier.

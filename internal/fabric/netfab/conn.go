@@ -23,8 +23,8 @@ import (
 // acknowledges the highest per-link sequence number it has accepted, which
 // lets the dialer trim its resend window.
 const (
-	frRegister = iota + 1 // peer -> rank 0: rank, n, listen addr, registry hash
-	frWelcome             // rank 0 -> peer: n, addrs[0..n), registry hash
+	frRegister = iota + 1 // peer -> rank 0: rank, n, listen addr, registry hash, shm host+dir
+	frWelcome             // rank 0 -> peer: n, addrs[0..n), registry hash, boot id, shm maps
 	frReady               // peer -> rank 0: received the address map
 	frGo                  // rank 0 -> peer: everyone is ready, start Run
 	frDone                // peer -> rank 0: local application process finished
@@ -490,12 +490,15 @@ func (f *Fab) serveConn(conn net.Conn) {
 		n := d.Int()
 		addr := d.String()
 		hash := d.Uvarint()
+		host := d.String()
+		shmDir := d.String()
 		if d.Err() != nil {
 			f.fatalf("bad registration: %v", d.Err())
 			conn.Close()
 			return
 		}
-		f.boot.regCh <- registration{conn: conn, br: br, rank: rank, n: n, addr: addr, hash: hash}
+		f.boot.regCh <- registration{conn: conn, br: br, rank: rank, n: n,
+			addr: addr, hash: hash, host: host, shmDir: shmDir}
 	case frHello:
 		src := d.Int()
 		resume := d.Bool()

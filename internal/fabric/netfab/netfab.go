@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"samsys/internal/fabric"
+	"samsys/internal/fabric/shmfab"
 	"samsys/internal/machine"
 	"samsys/internal/sim"
 	"samsys/internal/stats"
@@ -95,6 +96,17 @@ type Fab struct {
 	readyCount int           // guarded by boot.mu
 	done       chan struct{} // closed when every rank's app has finished
 
+	// Hybrid shared-memory state (see shm.go). hostID/shmDir are this
+	// rank's advertisement (empty: no shm); hostIDs/shmDirs are the
+	// cluster-wide maps learned at bootstrap; bootID names this run's
+	// segment files. The lane slices are indexed by peer rank, nil for
+	// TCP peers.
+	hostID, shmDir, bootID string
+	hostIDs, shmDirs       []string
+	shmSend                []*shmfab.SendLane
+	shmRecv                []*shmfab.RecvLane
+	shmWg                  sync.WaitGroup
+
 	closing atomic.Bool
 	stop    chan struct{} // closed by shutdown; unblocks writer goroutines
 	fail    chan struct{}
@@ -157,10 +169,15 @@ func Join(cfg Config) (*Fab, error) {
 		fail:     make(chan struct{}),
 		counters: make([]stats.Counters, cfg.N),
 		sendSeq:  make([]int64, cfg.N),
+		hostIDs:  make([]string, cfg.N),
+		shmDirs:  make([]string, cfg.N),
+		shmSend:  make([]*shmfab.SendLane, cfg.N),
+		shmRecv:  make([]*shmfab.RecvLane, cfg.N),
 	}
 	for i := range f.inLinks {
 		f.inLinks[i] = &inLink{}
 	}
+	f.resolveShm()
 	go f.acceptLoop()
 	deadline := time.Now().Add(opts.Boot)
 	var err error
@@ -236,6 +253,17 @@ func (f *Fab) propagateAbort(reason string) {
 func (f *Fab) InjectLinkReset(src, dst int) bool {
 	if src != f.rank || dst < 0 || dst >= f.n || dst == f.rank {
 		return false
+	}
+	if sl := f.shmSend[dst]; sl != nil {
+		// Shm link: shared memory has no connection to sever, so the reset
+		// reinitializes the lane in place (the epoch advances, the events
+		// fire) and drops nothing — same contract as shmfab.Cluster.
+		sl.Reset()
+		if tr := f.tr; tr != nil {
+			tr.Emit(trace.Event{Node: int32(f.rank), Kind: trace.EvLinkDown, Peer: int32(dst), Aux: 1})
+			tr.Emit(trace.Event{Node: int32(f.rank), Kind: trace.EvLinkRedial, Peer: int32(dst), Aux: 1})
+		}
+		return true
 	}
 	p := f.peers[dst]
 	if p == nil {
@@ -338,6 +366,7 @@ func (f *Fab) Run(app func(c fabric.Ctx)) (err error) {
 	f.ran = true
 	f.start = time.Now()
 	f.startNS.Store(f.start.UnixNano())
+	f.startShmConsumers()
 	c := &ctx{fab: f}
 	defer func() {
 		if r := recover(); r != nil {
@@ -402,6 +431,10 @@ func (f *Fab) shutdown() {
 	}
 	f.boot.mu.Unlock()
 	f.ln.Close()
+	// Unmapping a segment a consumer still touches would fault, so the
+	// lanes close only after every shm consumer has observed f.stop.
+	f.shmWg.Wait()
+	f.closeShmLanes()
 }
 
 // peer returns the data link to dst, dialing it on first use. Only the app
@@ -481,6 +514,17 @@ func (c *ctx) Send(dst, size int, payload any) {
 				c.handle(in)
 			}
 		}
+	}
+	if sl := f.shmSend[dst]; sl != nil {
+		// Co-located peer: the message rides the shared-memory lane. The
+		// lane numbers and traces the send itself (EvShmSend via OnSend;
+		// its frame count is the link sequence, so f.sendSeq stays unused
+		// for shm destinations), and while blocked on ring or arena space
+		// it services our inbox — handlers may re-enter Send and queue
+		// behind this message in FIFO order.
+		sl.Send(size, payload, c.poll)
+		c.poll()
+		return
 	}
 	e := wire.GetEncoder()
 	e.Uint8(frData)

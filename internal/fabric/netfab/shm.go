@@ -1,0 +1,227 @@
+package netfab
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/shmfab"
+	"samsys/internal/trace"
+)
+
+// Hybrid shared-memory support. Under Options.Shm = ShmAuto every rank
+// advertises a host identity and a segment directory when it registers;
+// the welcome broadcast carries the full maps plus a cluster-unique boot
+// id. A rank then creates one outbound shmfab lane per co-located peer
+// before entering the ready barrier — so by the time frGo releases the
+// cluster, every lane segment exists — and opens its inbound lanes right
+// after the barrier. ctx.Send routes to the lane when one exists and to
+// TCP otherwise; the control plane (bootstrap, end-of-run barrier, abort
+// propagation) always stays on TCP, which is what keeps rank-crash
+// teardown bounded even for pure-shm pairs.
+
+// bootSerial disambiguates boot ids of clusters spawned by one process.
+var bootSerial atomic.Uint64
+
+// newBootID names one cluster run; rank 0 generates it and the welcome
+// broadcast distributes it. Unique per (rendezvous process, run) so two
+// clusters sharing a segment directory cannot collide on lane paths.
+func newBootID() string {
+	return fmt.Sprintf("%d-%d", os.Getpid(), bootSerial.Add(1))
+}
+
+// resolveShm fixes this rank's host identity and segment directory from
+// the options: empty hostID means the rank does not participate in shm
+// pairing (mode off, platform unsupported, or no usable identity).
+func (f *Fab) resolveShm() {
+	if f.opts.Shm == ShmOff {
+		return
+	}
+	hid := f.opts.HostID
+	if f.opts.ShmHosts != nil {
+		hid = ""
+		if f.rank < len(f.opts.ShmHosts) {
+			hid = f.opts.ShmHosts[f.rank]
+		}
+	} else if hid == "" {
+		hid, _ = os.Hostname()
+	}
+	if hid == "" {
+		return
+	}
+	dir := f.opts.ShmDir
+	if dir == "" {
+		dir = shmfab.DefaultDir()
+	}
+	if !shmfab.Available(dir) {
+		return
+	}
+	f.hostID, f.shmDir = hid, dir
+}
+
+// shmPeer reports whether dst is a co-located distinct rank.
+func (f *Fab) shmPeer(dst int) bool {
+	return dst != f.rank && f.hostID != "" && f.hostIDs[dst] == f.hostID
+}
+
+// createShmLanes creates this rank's outbound lane segments. Runs after
+// the host map is known and before the ready barrier, so every segment
+// exists before any rank starts sending.
+func (f *Fab) createShmLanes() error {
+	for dst := 0; dst < f.n; dst++ {
+		if !f.shmPeer(dst) {
+			continue
+		}
+		path := shmfab.LanePath(f.shmDir, f.bootID, f.rank, dst)
+		sl, err := shmfab.NewSendLane(path, f.opts.ShmRing, f.opts.ShmArena, f.opts.ShmInline)
+		if err != nil {
+			return fmt.Errorf("netfab: shm lane %d->%d: %w", f.rank, dst, err)
+		}
+		d := dst
+		sl.OnSend = func(seq int64, size, bodyLen int, arenaCand bool) {
+			if tr := f.tr; tr != nil {
+				var a2 int64
+				if arenaCand {
+					a2 = 1
+				}
+				tr.Emit(trace.Event{Node: int32(f.rank), Kind: trace.EvShmSend,
+					Peer: int32(d), Size: int64(size), Aux: seq, Aux2: a2})
+			}
+		}
+		sl.OnArena = func(bytes, liveBlocks int) {
+			if tr := f.tr; tr != nil {
+				tr.Emit(trace.Event{Node: int32(f.rank), Kind: trace.EvShmArena,
+					Peer: int32(d), Aux: int64(bytes), Aux2: int64(liveBlocks)})
+			}
+		}
+		f.shmSend[dst] = sl
+	}
+	return nil
+}
+
+// openShmLanes opens this rank's inbound lanes, in each sender's
+// advertised directory. Runs after the frGo barrier, which guarantees
+// every sender has created its segments.
+func (f *Fab) openShmLanes() error {
+	for src := 0; src < f.n; src++ {
+		if !f.shmPeer(src) {
+			continue
+		}
+		path := shmfab.LanePath(f.shmDirs[src], f.bootID, src, f.rank)
+		rl, err := shmfab.OpenRecvLane(path)
+		if err != nil {
+			return fmt.Errorf("netfab: shm lane %d->%d: %w", src, f.rank, err)
+		}
+		f.shmRecv[src] = rl
+	}
+	return nil
+}
+
+// startShmConsumers launches one consumer goroutine per inbound lane.
+// Called at Run entry: frames sent by faster peers before that simply
+// wait in the segment — shared memory is its own accept loop.
+func (f *Fab) startShmConsumers() {
+	for src, rl := range f.shmRecv {
+		if rl != nil {
+			f.shmWg.Add(1)
+			go f.shmConsume(src, rl)
+		}
+	}
+}
+
+// shmConsume moves frames from one inbound lane into the node's inbox,
+// spinning briefly and then parking on the lane futex. The first delivery
+// after an actual sleep is recorded as a wake event.
+func (f *Fab) shmConsume(src int, lane *shmfab.RecvLane) {
+	defer f.shmWg.Done()
+	spin := 0
+	var sleptNs int64
+	for {
+		size, payload, seq, ok, err := lane.Poll()
+		if err != nil {
+			f.fatalf("shm lane %d->%d: %v", src, f.rank, err)
+			return
+		}
+		if !ok {
+			select {
+			case <-f.stop:
+				return
+			case <-f.fail:
+				return
+			default:
+			}
+			if spin < 64 {
+				spin++
+				runtime.Gosched()
+				continue
+			}
+			t0 := time.Now()
+			if lane.WaitData() {
+				sleptNs += int64(time.Since(t0))
+			}
+			continue
+		}
+		spin = 0
+		if sleptNs > 0 {
+			if tr := f.tr; tr != nil {
+				tr.Emit(trace.Event{Node: int32(f.rank), Kind: trace.EvShmWake,
+					Peer: int32(src), Aux: sleptNs})
+			}
+			sleptNs = 0
+		}
+		im := inMsg{m: fabricMsg(src, f.rank, size, payload), seq: seq}
+		select {
+		case f.inbox <- im:
+		case <-f.stop:
+			return
+		case <-f.fail:
+			return
+		}
+	}
+}
+
+// closeShmLanes stops nothing itself — call only after the consumers have
+// exited (shutdown closes f.stop and waits), since touching a segment
+// after unmap faults.
+func (f *Fab) closeShmLanes() {
+	for i, l := range f.shmRecv {
+		if l != nil {
+			l.Close()
+			f.shmRecv[i] = nil
+		}
+	}
+	for i, l := range f.shmSend {
+		if l != nil {
+			l.Close()
+			f.shmSend[i] = nil
+		}
+	}
+}
+
+// ReleasePayload returns item's arena block (if any) to the inbound lane
+// that delivered it. Implements fabric.PayloadReleaser for the local
+// rank; items that never rode an shm lane fall through in a few pointer
+// compares.
+func (f *Fab) ReleasePayload(node int, item any) {
+	if node != f.rank {
+		return
+	}
+	for _, l := range f.shmRecv {
+		if l != nil && l.Release(item) {
+			return
+		}
+	}
+}
+
+// ReleasePayload forwards to the owning rank's Fab.
+func (cl *Cluster) ReleasePayload(node int, item any) {
+	if node >= 0 && node < len(cl.fabs) {
+		cl.fabs[node].ReleasePayload(node, item)
+	}
+}
+
+var _ fabric.PayloadReleaser = (*Fab)(nil)
+var _ fabric.PayloadReleaser = (*Cluster)(nil)

@@ -1,0 +1,35 @@
+package shmfab
+
+import (
+	"testing"
+
+	"samsys/internal/fabric"
+	"samsys/internal/fabric/fabtest"
+	"samsys/internal/machine"
+)
+
+func skipWithoutShm(t *testing.T) {
+	t.Helper()
+	if !Available("") {
+		t.Skip("shm lanes unavailable on this platform")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	skipWithoutShm(t)
+	fabtest.Run(t, func(n int) (fabric.Fabric, error) {
+		return New(machine.CM5, n)
+	})
+}
+
+// TestChaos runs the fault-injection conformance matrix over shm lanes.
+// Unlike gofab, the Cluster implements LinkResetter, so every reset rule
+// must fire for real — and, because shared memory loses nothing on a
+// reset, the application results must still match the fault-free
+// reference exactly.
+func TestChaos(t *testing.T) {
+	skipWithoutShm(t)
+	fabtest.RunChaos(t, func(n int) (fabric.Fabric, error) {
+		return New(machine.CM5, n)
+	})
+}

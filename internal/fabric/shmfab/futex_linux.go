@@ -1,0 +1,36 @@
+//go:build linux
+
+package shmfab
+
+import (
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Lane wakeups use raw futexes on the mapped segment words, which work
+// across processes as long as the flag FUTEX_PRIVATE is NOT set: both
+// sides map the same physical page, and the kernel keys the wait queue by
+// that page. Every wait carries a timeout as a lost-wakeup safety net —
+// the sleeping-flag protocol (see ring.go) makes a missed wake unlikely
+// but not impossible, and a bounded stall beats a deadlock.
+
+const (
+	futexWaitOp = 0 // FUTEX_WAIT, shared (no FUTEX_PRIVATE_FLAG)
+	futexWakeOp = 1 // FUTEX_WAKE, shared
+)
+
+// futexWait sleeps until *p != val, a wake arrives, or d elapses.
+func futexWait(p *atomic.Uint32, val uint32, d time.Duration) {
+	ts := syscall.NsecToTimespec(int64(d))
+	syscall.Syscall6(syscall.SYS_FUTEX, uintptr(unsafe.Pointer(p)),
+		futexWaitOp, uintptr(val), uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWake wakes one waiter on p; a single-producer/single-consumer lane
+// never has more than one.
+func futexWake(p *atomic.Uint32) {
+	syscall.Syscall6(syscall.SYS_FUTEX, uintptr(unsafe.Pointer(p)),
+		futexWakeOp, 1, 0, 0, 0)
+}

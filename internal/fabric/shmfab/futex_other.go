@@ -1,0 +1,27 @@
+//go:build !linux
+
+package shmfab
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Non-Linux fallback: no futexes, so a "wait" is a bounded sleep-poll and
+// a "wake" relies on the waiter's own polling. The per-round sleep is
+// capped well under the lane timeouts so latency degrades gracefully
+// instead of correctness.
+
+const fallbackPoll = 200 * time.Microsecond
+
+func futexWait(p *atomic.Uint32, val uint32, d time.Duration) {
+	if p.Load() != val {
+		return
+	}
+	if d > fallbackPoll {
+		d = fallbackPoll
+	}
+	time.Sleep(d)
+}
+
+func futexWake(p *atomic.Uint32) {}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package shmfab
+
+import "errors"
+
+// mmapSupported reports whether this build can map shared segments at all.
+const mmapSupported = false
+
+var errUnsupported = errors.New("shmfab: shared-memory segments are not supported on this platform")
+
+func mapCreate(path string, size int) ([]byte, error) { return nil, errUnsupported }
+func mapOpen(path string) ([]byte, error)             { return nil, errUnsupported }
+func mapClose(mem []byte) error                       { return nil }

@@ -11,20 +11,19 @@ func init() {
 	wire.Register("pack.Bytes",
 		func(e *wire.Encoder, b Bytes) { e.BytesLP(b) },
 		func(d *wire.Decoder) Bytes { return Bytes(d.BytesLP()) })
+	// Float64s pads the element block to an 8-byte boundary of the frame
+	// so a zero-copy decoder (shmfab's payload arena) can alias the raw
+	// little-endian floats in place instead of copying them out.
 	wire.Register("pack.Float64s",
 		func(e *wire.Encoder, f Float64s) {
 			e.Uvarint(uint64(len(f)))
-			for _, v := range f {
-				e.Float64(v)
-			}
+			e.AlignPad(8)
+			e.Float64Block(f)
 		},
 		func(d *wire.Decoder) Float64s {
 			n := d.Len(8)
-			f := make(Float64s, n)
-			for i := range f {
-				f[i] = d.Float64()
-			}
-			return f
+			d.AlignSkip(8)
+			return Float64s(d.Float64Block(n))
 		})
 	wire.Register("pack.Ints",
 		func(e *wire.Encoder, v Ints) {

@@ -229,7 +229,8 @@ func (c *Checker) Observe(ev *Event) {
 		}
 
 	// --- fabric: FIFO delivery + conservation ---
-	case EvMsgSend:
+	// EvShmSend is a send on a shared-memory lane; same link rules.
+	case EvMsgSend, EvShmSend:
 		k := linkKey{src: ev.Node, dst: ev.Peer}
 		ls := c.links[k]
 		if ls == nil {
@@ -259,17 +260,21 @@ func (c *Checker) Observe(ev *Event) {
 		delete(ls.outstanding, ev.Aux)
 		ls.lastDelivered = ev.Aux
 	case EvMsgDup:
-		// A transport-level resend was suppressed. Legal only for a seq
-		// the link already delivered; suppressing an undelivered seq
-		// would be a silent loss.
+		// A transport-level resend was suppressed. Legal for a seq the
+		// link already delivered, or one still outstanding: the receive
+		// loop accepts a frame into the inbox before the app goroutine
+		// dequeues it, so a fast resend's dup event can precede the
+		// delivery event in a shared recorder. A suppressed seq that was
+		// never sent at all is a loss here; a suppressed outstanding seq
+		// that never gets delivered still fails conservation at Finish.
 		k := linkKey{src: ev.Peer, dst: ev.Node}
 		ls := c.links[k]
-		if ls == nil || ev.Aux > ls.lastDelivered {
+		if ls == nil || (ev.Aux > ls.lastDelivered && !ls.outstanding[ev.Aux]) {
 			last := int64(-1)
 			if ls != nil {
 				last = ls.lastDelivered
 			}
-			c.fail(ev, "link %d->%d: seq %d suppressed as duplicate but only %d delivered (message lost)",
+			c.fail(ev, "link %d->%d: seq %d suppressed as duplicate but never sent and only %d delivered (message lost)",
 				k.src, k.dst, ev.Aux, last)
 			return
 		}

@@ -63,7 +63,7 @@ func CheckTransport(dumps [][]Event) error {
 	})
 	for _, d := range dumps {
 		for i := range d {
-			if d[i].Kind == EvMsgSend {
+			if d[i].Kind == EvMsgSend || d[i].Kind == EvShmSend {
 				ck.Observe(&d[i])
 			}
 		}

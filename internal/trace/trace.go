@@ -117,6 +117,14 @@ const (
 	EvClientClose  // a client session closed; Aux: 1 explicit, 0 idle timeout
 	EvClientReject // a client request refused; Aux: opcode, Aux2: reason code
 
+	// Shared-memory fabric lanes (shmfab / hybrid netfab). EvShmSend is
+	// the send event on a shm lane — the checker's conservation and FIFO
+	// rules treat it exactly like EvMsgSend (delivery stays EvMsgDeliver),
+	// so the PR-1 invariants cover shm links unchanged.
+	EvShmSend  // Peer: dst, Aux: per-link seq, Aux2: 1 arena handoff / 0 inline
+	EvShmWake  // consumer slept and woke to data; Peer: src, Aux: slept ns
+	EvShmArena // arena pressure/teardown; Peer: dst, Aux: bytes, Aux2: live blocks
+
 	numKinds
 )
 
@@ -176,6 +184,9 @@ var kindNames = [numKinds]string{
 	EvClientOp:       "client-op",
 	EvClientClose:    "client-close",
 	EvClientReject:   "client-reject",
+	EvShmSend:        "shm-send",
+	EvShmWake:        "shm-wake",
+	EvShmArena:       "shm-arena",
 }
 
 func (k Kind) String() string {
@@ -206,6 +217,8 @@ func (k Kind) Category() string {
 		return "fabric"
 	case k >= EvClientOpen && k <= EvClientReject:
 		return "client"
+	case k >= EvShmSend && k <= EvShmArena:
+		return "fabric"
 	}
 	return "other"
 }

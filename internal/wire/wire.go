@@ -22,7 +22,17 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"unsafe"
 )
+
+// isLE reports whether the host is little-endian. Canonical encodings are
+// little-endian on the wire; on a little-endian host bulk float blocks can
+// be moved with a single copy (or aliased in place by a zero-copy decoder)
+// instead of element-wise byte shuffling.
+var isLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 // Encoder appends canonical binary encodings to a growing buffer. The zero
 // value is ready to use.
@@ -104,6 +114,33 @@ func (e *Encoder) BytesLP(b []byte) {
 // Raw appends b with no length prefix (for callers that frame themselves).
 func (e *Encoder) Raw(b []byte) { e.b = append(e.b, b...) }
 
+// AlignPad appends zero bytes until the buffer length is a multiple of
+// align. Padding is part of the canonical form: the decoder's AlignSkip
+// consumes exactly the same pad (and rejects nonzero bytes), so the
+// round-trip laws still hold. Codecs pad bulk fixed-width blocks to 8 so
+// a zero-copy decoder over an 8-aligned buffer can alias them in place.
+func (e *Encoder) AlignPad(align int) {
+	for len(e.b)%align != 0 {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Float64Block appends the raw little-endian IEEE-754 bytes of f with no
+// length prefix; the caller writes the length and an AlignPad(8) first.
+// On a little-endian host this is one bulk copy.
+func (e *Encoder) Float64Block(f []float64) {
+	if len(f) == 0 {
+		return
+	}
+	if isLE {
+		e.b = append(e.b, unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), 8*len(f))...)
+		return
+	}
+	for _, v := range f {
+		e.Float64(v)
+	}
+}
+
 // Decoder reads canonical encodings from a buffer. All methods are
 // error-latching: after the first failure every subsequent read returns a
 // zero value and Err reports the first error.
@@ -111,10 +148,79 @@ type Decoder struct {
 	b   []byte
 	off int
 	err error
+
+	alias    bool             // hand out slices aliasing b where layout permits
+	aliasPts []unsafe.Pointer // base pointers of every alias handed out
 }
 
 // NewDecoder returns a decoder over b. The decoder does not copy b.
 func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// SetAlias switches the decoder into alias mode: BytesLP and Float64Block
+// return slices that alias the input buffer instead of copies, when
+// alignment and byte order permit. The caller owns b's lifetime — aliased
+// results must not outlive it — and can enumerate what escaped via
+// Aliases. The shared-memory fabric decodes payload-arena frames this way
+// so a delivered value is the arena bytes themselves, not a copy.
+func (d *Decoder) SetAlias(on bool) { d.alias = on }
+
+// Aliases returns the base pointer of every slice handed out aliasing the
+// input buffer, in decode order. Empty when alias mode is off or nothing
+// aliased (misaligned data falls back to copying).
+func (d *Decoder) Aliases() []unsafe.Pointer { return d.aliasPts }
+
+// AlignSkip consumes the zero padding an AlignPad(align) wrote, rejecting
+// nonzero pad bytes (canonical form).
+func (d *Decoder) AlignSkip(align int) {
+	if d.err != nil {
+		return
+	}
+	pad := (align - d.off%align) % align
+	if d.Remaining() < pad {
+		d.Failf("truncated alignment padding")
+		return
+	}
+	for i := 0; i < pad; i++ {
+		if d.b[d.off+i] != 0 {
+			d.Failf("nonzero alignment padding")
+			return
+		}
+	}
+	d.off += pad
+}
+
+// Float64Block reads n fixed 8-byte little-endian floats written by
+// Float64Block. In alias mode, on a little-endian host, with the data
+// 8-aligned in memory, the returned slice aliases the input buffer;
+// otherwise it is a fresh copy.
+func (d *Decoder) Float64Block(n int) []float64 {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining()/8 < n {
+		d.Failf("truncated float64 block")
+		return nil
+	}
+	start := d.off
+	d.off += 8 * n
+	if n == 0 {
+		return make([]float64, 0)
+	}
+	p := unsafe.Pointer(&d.b[start])
+	if d.alias && isLE && uintptr(p)%8 == 0 {
+		d.aliasPts = append(d.aliasPts, p)
+		return unsafe.Slice((*float64)(p), n)
+	}
+	f := make([]float64, n)
+	if isLE {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), 8*n), d.b[start:d.off])
+	} else {
+		for i := range f {
+			f[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[start+8*i:]))
+		}
+	}
+	return f
+}
 
 // Err returns the first decode error, or nil.
 func (d *Decoder) Err() error { return d.err }
@@ -226,11 +332,18 @@ func (d *Decoder) String() string {
 	return s
 }
 
-// BytesLP reads a length-prefixed byte slice (copied out of the buffer).
+// BytesLP reads a length-prefixed byte slice. The result is a copy, or an
+// alias of the input buffer in alias mode (see SetAlias).
 func (d *Decoder) BytesLP() []byte {
 	n := d.lpLen(1)
 	if d.err != nil {
 		return nil
+	}
+	if d.alias && n > 0 {
+		b := d.b[d.off : d.off+n : d.off+n]
+		d.aliasPts = append(d.aliasPts, unsafe.Pointer(&b[0]))
+		d.off += n
+		return b
 	}
 	b := make([]byte, n)
 	copy(b, d.b[d.off:d.off+n])
